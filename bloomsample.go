@@ -1,0 +1,240 @@
+// Package bloomsample is a Go implementation of "Sampling and
+// Reconstruction Using Bloom Filters" (Sengupta, Bagchi, Bedathur,
+// Ramanath; ICDE 2017): it answers the two questions the paper poses —
+// how to draw a near-uniform random sample from a set stored in a Bloom
+// filter, and how to reconstruct that set — without inverting the hash
+// functions and without scanning the whole namespace.
+//
+// The central structure is the BloomSampleTree: a complete binary tree
+// over the namespace with a Bloom filter per node, built once and used for
+// any number of query filters that share the same parameters. Sampling
+// descends the tree guided by intersection-size estimates; reconstruction
+// prunes subtrees with empty intersections. For sparse namespaces the
+// Pruned variant allocates only occupied subtrees and can grow
+// dynamically.
+//
+// Quick start:
+//
+//	plan, _ := bloomsample.Plan(0.9, 1000, 1_000_000, 3)        // accuracy, |set|, |namespace|, k
+//	tree, _ := bloomsample.NewTree(plan, bloomsample.Murmur3, 42)
+//	q := tree.NewQueryFilter()
+//	q.Add(123); q.Add(456)                                       // store a set
+//	x, _ := tree.Sample(q, rng, nil)                             // draw a sample
+//	set, _ := tree.Reconstruct(q, bloomsample.PruneByEstimate, nil)
+//
+// The two baselines the paper compares against (DictionaryAttack and
+// HashInvert) are exported for benchmarking and for the niches where they
+// win (tiny namespaces; invertible hashes with very sparse or very dense
+// filters).
+package bloomsample
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/hashfam"
+	"repro/internal/setdb"
+)
+
+// Filter is a Bloom filter over uint64 elements supporting membership,
+// union, intersection and the cardinality estimators the sampler uses.
+type Filter = bloom.Filter
+
+// Tree is a BloomSampleTree (full or pruned).
+type Tree = core.Tree
+
+// TreeConfig configures a tree build; prefer deriving it via Plan +
+// Plan.TreeConfig.
+type TreeConfig = core.Config
+
+// TreePlan is the outcome of accuracy-driven parameter planning (§5.4 of
+// the paper): Bloom-filter size, false-positive rate, tree depth and leaf
+// range.
+type TreePlan = core.Plan
+
+// Ops counts the Bloom-filter operations an algorithm performed.
+type Ops = core.Ops
+
+// PruneRule selects the reconstruction pruning strategy.
+type PruneRule = core.PruneRule
+
+// Reconstruction pruning strategies: PruneByEstimate is the paper's
+// thresholding heuristic (fast, may trade recall); PruneByAndBits prunes
+// only provably-empty branches (perfect recall, slower).
+const (
+	PruneByEstimate = core.PruneByEstimate
+	PruneByAndBits  = core.PruneByAndBits
+)
+
+// HashKind identifies a hash-function family.
+type HashKind = hashfam.Kind
+
+// Available hash families. Simple is weakly invertible (required by
+// HashInvert); Murmur3 is the recommended default; MD5 is slow and present
+// for parity with the paper's evaluation; FNV is a fast extra.
+const (
+	Simple  = hashfam.KindSimple
+	Murmur3 = hashfam.KindMurmur3
+	MD5     = hashfam.KindMD5
+	FNV     = hashfam.KindFNV
+)
+
+// ErrNoSample is returned by Tree.Sample when no element of the namespace
+// answers the query filter positively along any explored path.
+var ErrNoSample = core.ErrNoSample
+
+// Plan sizes a Bloom filter and a BloomSampleTree for the desired sampling
+// accuracy (the fraction of sampling outcomes that are true set elements),
+// a design query-set size n, a namespace of size M, and k hash functions.
+// Accuracies above 0.99 are capped (an exact 1.0 needs an infinite
+// filter). The cost ratio between intersections and membership queries is
+// taken from the built-in model; use PlanWithCostRatio with a
+// CalibrateCosts measurement for machine-specific planning.
+func Plan(accuracy float64, n, M uint64, k int) (TreePlan, error) {
+	return core.PlanTree(accuracy, n, M, k, 0)
+}
+
+// PlanWithCostRatio is Plan with an explicit intersection/membership cost
+// ratio (see CalibrateCosts).
+func PlanWithCostRatio(accuracy float64, n, M uint64, k int, costRatio float64) (TreePlan, error) {
+	return core.PlanTree(accuracy, n, M, k, costRatio)
+}
+
+// CostEstimate holds measured per-operation costs.
+type CostEstimate = core.CostEstimate
+
+// CalibrateCosts measures membership and intersection costs for the given
+// filter parameters on this machine; its Ratio feeds PlanWithCostRatio.
+func CalibrateCosts(kind HashKind, m uint64, k int, iters int) (CostEstimate, error) {
+	return core.CalibrateCosts(kind, m, k, iters)
+}
+
+// NewTree builds the full BloomSampleTree for the plan: every node stores
+// its entire namespace range (Definition 5.1 of the paper). Build once,
+// query with any number of filters created via Tree.NewQueryFilter.
+func NewTree(plan TreePlan, kind HashKind, seed uint64) (*Tree, error) {
+	return core.BuildTree(plan.TreeConfig(kind, seed))
+}
+
+// NewPrunedTree builds a Pruned-BloomSampleTree over only the occupied
+// identifiers (§5.2): nodes whose ranges contain no occupied id are not
+// allocated, and Tree.Insert grows the tree as occupancy grows.
+func NewPrunedTree(plan TreePlan, kind HashKind, seed uint64, occupied []uint64) (*Tree, error) {
+	return core.BuildPruned(plan.TreeConfig(kind, seed), occupied)
+}
+
+// NewTreeFromConfig builds a full tree from an explicit configuration,
+// bypassing planning.
+func NewTreeFromConfig(cfg TreeConfig) (*Tree, error) { return core.BuildTree(cfg) }
+
+// NewPrunedTreeFromConfig builds a pruned tree from an explicit
+// configuration.
+func NewPrunedTreeFromConfig(cfg TreeConfig, occupied []uint64) (*Tree, error) {
+	return core.BuildPruned(cfg, occupied)
+}
+
+// NewFilter returns an empty Bloom filter with the given parameters. Use
+// Tree.NewQueryFilter instead when the filter will be queried against a
+// tree, which guarantees parameter compatibility.
+func NewFilter(kind HashKind, m uint64, k int, seed uint64) (*Filter, error) {
+	fam, err := hashfam.New(kind, m, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return bloom.New(fam), nil
+}
+
+// DictionaryAttack is the brute-force baseline: O(M) membership queries
+// per sample or reconstruction, but exactly uniform samples.
+type DictionaryAttack = baseline.DictionaryAttack
+
+// HashInvert is the invertible-hash baseline: it enumerates candidate
+// preimages of filter bits. Requires the Simple hash family.
+type HashInvert = baseline.HashInvert
+
+// Estimators re-exported for downstream use.
+
+// FalsePositiveRate returns (1−e^{−kn/m})^k.
+func FalsePositiveRate(m uint64, k int, n uint64) float64 {
+	return bloom.FalsePositiveRate(m, k, n)
+}
+
+// Accuracy returns n / (n + (M−n)·fp), the paper's sampling-accuracy
+// measure.
+func Accuracy(n, M uint64, fp float64) float64 { return bloom.Accuracy(n, M, fp) }
+
+// EstimateIntersection returns the Papapetrou et al. estimate of the
+// intersection size of the sets stored in two compatible filters.
+func EstimateIntersection(a, b *Filter) float64 { return bloom.EstimateIntersectionOf(a, b) }
+
+// FalseSetOverlapProb returns Eq. (1) of the paper: the probability that
+// the AND of two filters storing disjoint sets of sizes n1 and n2 is
+// non-empty.
+func FalseSetOverlapProb(m uint64, k int, n1, n2 uint64) float64 {
+	return bloom.FalseSetOverlapProb(m, k, n1, n2)
+}
+
+// UniformSampler draws exactly uniform samples from a query filter by
+// rejection, correcting the estimator-noise bias of the plain tree
+// descent. Create one per query filter with Tree.NewUniformSampler.
+type UniformSampler = core.UniformSampler
+
+// UniformStats reports a UniformSampler's rejection behaviour.
+type UniformStats = core.UniformStats
+
+// SetDB is a keyed database of sets stored only as Bloom filters over a
+// shared namespace and BloomSampleTree — the paper's §3.2 framework. It
+// supports per-key sampling and reconstruction and persists to a single
+// file.
+type SetDB = setdb.DB
+
+// SetDBOptions configures a SetDB.
+type SetDBOptions = setdb.Options
+
+// OpenSetDB creates an empty set database.
+func OpenSetDB(opts SetDBOptions) (*SetDB, error) { return setdb.Open(opts) }
+
+// PlanSetDB derives SetDB options from a desired sampling accuracy.
+func PlanSetDB(accuracy float64, designSetSize, namespace uint64, k int) (SetDBOptions, error) {
+	return setdb.PlanOptions(accuracy, designSetSize, namespace, k)
+}
+
+// LoadSetDB reads a database written by (*SetDB).Save. Pruned databases
+// need their occupied ids; pass nil otherwise.
+func LoadSetDB(path string, occupied []uint64) (*SetDB, error) {
+	return setdb.Load(path, occupied)
+}
+
+// UnmarshalFilter decodes a filter encoded by (*Filter).MarshalBinary,
+// reconstructing its hash family from the embedded parameters.
+func UnmarshalFilter(data []byte) (*Filter, error) { return bloom.UnmarshalFilter(data) }
+
+// NewTreeParallel builds the full BloomSampleTree using multiple
+// goroutines (workers <= 0 means GOMAXPROCS); the result is identical to
+// NewTree. Useful at paper-scale namespaces, where construction is a
+// pure hash pass.
+func NewTreeParallel(plan TreePlan, kind HashKind, seed uint64, workers int) (*Tree, error) {
+	return core.BuildTreeParallel(plan.TreeConfig(kind, seed), workers)
+}
+
+// LoadTree reads a tree written by (*Tree).Save.
+func LoadTree(path string) (*Tree, error) { return core.LoadTree(path) }
+
+// TreeStats describes a tree's realized structure (per-level fill
+// ratios, saturation depth); see (*Tree).ComputeStats.
+type TreeStats = core.Stats
+
+// CountingFilter is a counting Bloom filter supporting Remove, for the
+// paper's dynamic-community setting; project it onto a tree-compatible
+// plain Filter with Snapshot.
+type CountingFilter = bloom.CountingFilter
+
+// NewCountingFilter returns an empty counting filter with the given
+// parameters.
+func NewCountingFilter(kind HashKind, m uint64, k int, seed uint64) (*CountingFilter, error) {
+	fam, err := hashfam.New(kind, m, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return bloom.NewCounting(fam), nil
+}

@@ -1,0 +1,85 @@
+// Command bstgen generates the paper's workloads as text files: uniform
+// and clustered query sets (§7.1) and synthetic Twitter-style crawls over
+// low-occupancy namespaces (§8.1). Output is one id per line, suitable for
+// feeding into external tooling or diffing across runs.
+//
+// Usage:
+//
+//	bstgen -kind uniform -M 1000000 -n 1000 > set.txt
+//	bstgen -kind clustered -M 1000000 -n 1000 -p 10 > clustered.txt
+//	bstgen -kind namespace -M 2200000000 -fraction 0.2 -population 7200000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "uniform", "uniform | clustered | namespace")
+		M         = flag.Uint64("M", 1_000_000, "namespace size")
+		n         = flag.Int("n", 1000, "set size (uniform/clustered)")
+		p         = flag.Float64("p", workload.DefaultClusterP, "clustering aggressiveness (clustered)")
+		fraction  = flag.Float64("fraction", 0.2, "namespace fraction (namespace)")
+		pop       = flag.Int("population", 10000, "occupied ids (namespace)")
+		clustered = flag.Bool("clustered-leaves", false, "cluster the selected leaves (namespace)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "uniform":
+		set, err := workload.UniformSet(rng, *M, *n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(w, set)
+	case "clustered":
+		set, err := workload.ClusteredSet(rng, *M, *n, *p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(w, set)
+	case "namespace":
+		var idx []int
+		var err error
+		if *clustered {
+			idx, err = workload.SelectLeavesClustered(rng, workload.NamespaceLeaves, *fraction, *p)
+		} else {
+			idx, err = workload.SelectLeavesUniform(rng, workload.NamespaceLeaves, *fraction)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ns, err := workload.PopulateNamespace(rng, *M, workload.NamespaceLeaves, idx, *pop)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "selected %d/%d leaves, fraction %.3f, %d ids\n",
+			len(idx), workload.NamespaceLeaves, ns.Fraction(), len(ns.IDs))
+		emit(w, ns.IDs)
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+}
+
+func emit(w *bufio.Writer, xs []uint64) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bstgen: "+format+"\n", args...)
+	os.Exit(1)
+}

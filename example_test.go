@@ -1,0 +1,108 @@
+package bloomsample_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	bloomsample "repro"
+)
+
+// The basic workflow: plan parameters for a desired accuracy, build the
+// tree once, store a set in a compatible filter, then sample and
+// reconstruct.
+func Example() {
+	plan, _ := bloomsample.Plan(0.9, 100, 100_000, 3)
+	tree, _ := bloomsample.NewTree(plan, bloomsample.Murmur3, 42)
+
+	q := tree.NewQueryFilter()
+	for _, x := range []uint64{11, 22, 33, 44, 55} {
+		q.Add(x)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	x, _ := tree.Sample(q, rng, nil)
+	fmt.Println("sample is a positive:", q.Contains(x))
+
+	set, _ := tree.Reconstruct(q, bloomsample.PruneByAndBits, nil)
+	fmt.Println("reconstruction contains 33:", contains(set, 33))
+	// Output:
+	// sample is a positive: true
+	// reconstruction contains 33: true
+}
+
+// Pruned trees cover only the occupied portion of a sparse namespace and
+// grow as new identifiers appear.
+func ExampleNewPrunedTree() {
+	plan, _ := bloomsample.Plan(0.8, 100, 10_000_000, 3)
+	occupied := []uint64{5, 1_000_000, 9_999_999}
+	tree, _ := bloomsample.NewPrunedTree(plan, bloomsample.Murmur3, 1, occupied)
+
+	full, _ := bloomsample.NewTree(plan, bloomsample.Murmur3, 1)
+	fmt.Println("pruned smaller than full:", tree.MemoryBytes() < full.MemoryBytes())
+
+	before := tree.Nodes()
+	_ = tree.Insert(4_242_424)
+	fmt.Println("grew on insert:", tree.Nodes() > before)
+	// Output:
+	// pruned smaller than full: true
+	// grew on insert: true
+}
+
+// The SetDB stores many named sets against one shared tree — the paper's
+// §3.2 database of Bloom-filter-encoded sets.
+func ExampleOpenSetDB() {
+	opts, _ := bloomsample.PlanSetDB(0.9, 1000, 1_000_000, 3)
+	db, _ := bloomsample.OpenSetDB(opts)
+
+	_ = db.Add("team-a", 1, 2, 3)
+	_ = db.Add("team-b", 3, 4, 5)
+
+	ok, _ := db.Contains("team-a", 2)
+	fmt.Println("team-a has 2:", ok)
+
+	est, _ := db.IntersectionEstimate("team-a", "team-b")
+	fmt.Println("overlap estimate is small:", est < 3)
+	// Output:
+	// team-a has 2: true
+	// overlap estimate is small: true
+}
+
+// The UniformSampler trades throughput for exact uniformity — use it when
+// downstream statistics assume unbiased samples.
+func ExampleUniformSampler() {
+	plan, _ := bloomsample.Plan(0.9, 100, 100_000, 3)
+	tree, _ := bloomsample.NewTree(plan, bloomsample.Murmur3, 42)
+	q := tree.NewQueryFilter()
+	for x := uint64(0); x < 100; x++ {
+		q.Add(x * 997)
+	}
+
+	sampler, _ := tree.NewUniformSampler(q)
+	rng := rand.New(rand.NewSource(3))
+	x, _ := sampler.Sample(rng, nil)
+	fmt.Println("uniform sample is a positive:", q.Contains(x))
+	// Output:
+	// uniform sample is a positive: true
+}
+
+// DictionaryAttack is the O(M) baseline — exact but namespace-bound.
+func ExampleDictionaryAttack() {
+	f, _ := bloomsample.NewFilter(bloomsample.FNV, 10_000, 3, 1)
+	f.Add(700)
+
+	da := bloomsample.DictionaryAttack{Namespace: 1_000}
+	var ops bloomsample.Ops
+	got := da.Reconstruct(f, &ops)
+	fmt.Println("found below 1000:", len(got), "memberships:", ops.Memberships)
+	// Output:
+	// found below 1000: 1 memberships: 1000
+}
+
+func contains(xs []uint64, x uint64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Communities: the paper's motivating social-network scenario (§1) —
+// millions of dynamic online communities stored compactly as Bloom
+// filters, from which an advertiser samples members to estimate audience
+// composition without ever materializing the member lists.
+//
+// This example stores many overlapping "hashtag communities" over a
+// sparse user-id namespace, builds one Pruned-BloomSampleTree for the
+// occupied ids, and answers two advertiser questions:
+//
+//  1. "Give me a quick panel of members of #gadgets" — multi-sampling.
+//  2. "How much does #gadgets overlap #photography?" — intersection
+//     estimation plus sampling from the AND filter.
+//
+// Run with:
+//
+//	go run ./examples/communities
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bloomsample "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		namespace  = 50_000_000 // user-id space (sparse: ~1% occupied)
+		population = 500_000    // actual users
+		accuracy   = 0.9
+	)
+	rng := rand.New(rand.NewSource(99))
+
+	// The user base occupies a fifth of the namespace's 256 leaf ranges,
+	// as real id spaces do (allocation in blocks).
+	leafIdx, err := workload.SelectLeavesUniform(rng, workload.NamespaceLeaves, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns, err := workload.PopulateNamespace(rng, namespace, workload.NamespaceLeaves, leafIdx, population)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user base: %d users in %.0f%% of a %d-id namespace\n",
+		len(ns.IDs), ns.Fraction()*100, namespace)
+
+	// Communities of heavy-tailed sizes, skewed toward active users.
+	crawl, err := workload.SynthesizeCrawl(rng, ns, workload.CrawlConfig{
+		M: namespace, Population: population, Hashtags: 500, MinTagSize: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One pruned tree serves every community filter.
+	plan, err := bloomsample.Plan(accuracy, 5_000, namespace, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := bloomsample.NewPrunedTree(plan, bloomsample.Murmur3, 1, ns.IDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned tree: %d nodes, %.1f MB (full tree would be %.1f MB)\n",
+		tree.Nodes(), float64(tree.MemoryBytes())/(1<<20),
+		float64((uint64(1)<<(plan.Depth+1)-1)*((plan.Bits+63)/64*8))/(1<<20))
+
+	// Store every community as a Bloom filter — the only representation
+	// we keep; the member lists are discarded.
+	filters := make([]*bloomsample.Filter, len(crawl.Tags))
+	for i, tag := range crawl.Tags {
+		f := tree.NewQueryFilter()
+		for _, u := range tag {
+			f.Add(u)
+		}
+		filters[i] = f
+	}
+	gadgets, photo := 0, 1
+	fmt.Printf("#gadgets: ~%.0f members (estimated from its filter alone; true %d)\n",
+		filters[gadgets].EstimateCardinality(), len(crawl.Tags[gadgets]))
+
+	// Question 1: a 20-user panel from #gadgets, no member list needed.
+	panel, err := tree.SampleN(filters[gadgets], 20, false, rng, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inTag := 0
+	for _, u := range panel {
+		if containsSorted(crawl.Tags[gadgets], u) {
+			inTag++
+		}
+	}
+	fmt.Printf("panel of %d users drawn; %d verified true members (accuracy target %.2f)\n",
+		len(panel), inTag, accuracy)
+
+	// Question 2: overlap of two communities via filter intersection.
+	est := bloomsample.EstimateIntersection(filters[gadgets], filters[photo])
+	trueOverlap := overlap(crawl.Tags[gadgets], crawl.Tags[photo])
+	fmt.Printf("overlap #gadgets ∩ #photography: estimated %.0f users, true %d\n", est, trueOverlap)
+
+	both, err := filters[gadgets].Intersect(filters[photo])
+	if err != nil {
+		log.Fatal(err)
+	}
+	common, err := tree.SampleN(both, 5, false, rng, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d of 5 requested users from the intersection filter: %v\n", len(common), common)
+}
+
+func containsSorted(xs []uint64, x uint64) bool {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(xs) && xs[lo] == x
+}
+
+func overlap(a, b []uint64) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

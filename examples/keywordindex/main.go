@@ -1,0 +1,160 @@
+// Keyword index: the paper's §3.2 information-retrieval example — "the
+// list of documents where a keyword occurs" stored per keyword as a Bloom
+// filter. This example builds a persistent SetDB posting index, saves it
+// to disk, reloads it in a fresh database (as a serving process would),
+// and answers queries by sampling and reconstruction — including an
+// exactly-uniform sample via the rejection-corrected UniformSampler.
+//
+// Run with:
+//
+//	go run ./examples/keywordindex
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	bloomsample "repro"
+)
+
+const (
+	docSpace = 2_000_000 // document-id namespace
+	accuracy = 0.95
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(77))
+
+	// A synthetic corpus: keyword df (document frequency) follows a rough
+	// power law; "rare" keywords hit hundreds of docs, "stopword-ish"
+	// ones hit tens of thousands.
+	keywords := map[string]int{
+		"bloom": 400, "filter": 1200, "sampling": 800, "database": 5000,
+		"index": 9000, "query": 20000, "the": 60000,
+	}
+	postings := map[string][]uint64{}
+	for kw, df := range keywords {
+		postings[kw] = randomDocs(rng, df)
+	}
+	// Make 'bloom' and 'filter' genuinely co-occur in 50 documents (as
+	// they would in a real corpus), so the AND query below has answers.
+	copy(postings["filter"][:50], postings["bloom"][:50])
+
+	// Ingest: open a database planned for the typical posting size, add
+	// every posting list, persist.
+	opts, err := bloomsample.PlanSetDB(accuracy, 5000, docSpace, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := bloomsample.OpenSetDB(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for kw, docs := range postings {
+		if err := db.Add(kw, docs...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dir, err := os.MkdirTemp("", "keywordindex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "postings.db")
+	if err := db.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("ingested %d keywords; index file %s (%.1f MB) — the corpus itself is discarded\n",
+		db.Len(), filepath.Base(path), float64(info.Size())/(1<<20))
+
+	// Serve: a fresh process loads the index.
+	srv, err := bloomsample.LoadSetDB(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d keywords: %v\n", srv.Len(), srv.Keys())
+
+	// Query 1: "show me a few documents mentioning 'sampling'".
+	docs, err := srv.SampleN("sampling", 5, false, rng, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5 docs for 'sampling': %v\n", docs)
+
+	// Query 2: estimated result size of "bloom AND filter", then the
+	// actual documents via reconstruction of the intersection filter.
+	est, err := srv.IntersectionEstimate("bloom", "filter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, err := srv.Filter("bloom").Intersect(srv.Filter("filter"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := srv.Tree().Reconstruct(both, bloomsample.PruneByAndBits, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueBoth := intersectCount(postings["bloom"], postings["filter"])
+	fmt.Printf("'bloom AND filter': estimated %.0f docs, reconstructed %d candidates, %d true co-occurrences\n",
+		est, len(hits), trueBoth)
+
+	// Query 3: an exactly-uniform document sample from a big posting list
+	// (for unbiased corpus statistics), via the rejection-corrected
+	// sampler.
+	us, err := srv.UniformSampler("query")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample, err := us.SampleN(1000, rng, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := us.Stats()
+	fmt.Printf("uniform sample of %d docs from 'query' (df %d): %.1f attempts/sample, %d clamped\n",
+		len(sample), keywords["query"], float64(st.Attempts)/float64(st.Accepted), st.Clamped)
+
+	// Query 4: full posting reconstruction for a rare keyword with the
+	// fast estimate-pruned traversal; recall is measured against the
+	// ground truth (use PruneByAndBits when completeness beats speed).
+	var ops bloomsample.Ops
+	recon, err := srv.Reconstruct("bloom", bloomsample.PruneByEstimate, &ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed 'bloom': %d candidates for df %d (recall %.0f%%), %d membership queries instead of %d\n",
+		len(recon), keywords["bloom"],
+		100*float64(intersectCount(recon, postings["bloom"]))/float64(keywords["bloom"]),
+		ops.Memberships, docSpace)
+}
+
+func randomDocs(rng *rand.Rand, df int) []uint64 {
+	seen := make(map[uint64]bool, df)
+	out := make([]uint64, 0, df)
+	for len(out) < df {
+		d := rng.Uint64() % docSpace
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func intersectCount(a, b []uint64) int {
+	in := make(map[uint64]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,285 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/hashfam"
+)
+
+func simpleFam(t testing.TB, m uint64) hashfam.Family {
+	t.Helper()
+	return hashfam.MustNew(hashfam.KindSimple, m, 3, 17)
+}
+
+func TestDictionaryAttackSampleUniform(t *testing.T) {
+	// Exactly uniform by construction (reservoir); verify empirically over
+	// a small positive set.
+	const M = 5000
+	fam := simpleFam(t, 3000)
+	set := []uint64{10, 500, 999, 1500, 4999}
+	q := bloom.NewFromElements(fam, set)
+	// Ground truth positives (set plus any false positives).
+	var truth []uint64
+	for y := uint64(0); y < M; y++ {
+		if q.Contains(y) {
+			truth = append(truth, y)
+		}
+	}
+	da := DictionaryAttack{Namespace: M}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[uint64]int{}
+	const rounds = 6000
+	for i := 0; i < rounds; i++ {
+		x, ok := da.Sample(q, rng, nil)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if !q.Contains(x) {
+			t.Fatalf("sampled non-positive %d", x)
+		}
+		counts[x]++
+	}
+	want := float64(rounds) / float64(len(truth))
+	for _, y := range truth {
+		if c := float64(counts[y]); math.Abs(c-want) > 5*math.Sqrt(want) {
+			t.Fatalf("element %d sampled %v times, want ~%.0f", y, c, want)
+		}
+	}
+}
+
+func TestDictionaryAttackEmptyFilter(t *testing.T) {
+	fam := simpleFam(t, 3000)
+	q := bloom.New(fam)
+	da := DictionaryAttack{Namespace: 1000}
+	rng := rand.New(rand.NewSource(2))
+	if _, ok := da.Sample(q, rng, nil); ok {
+		t.Fatal("sample from empty filter succeeded")
+	}
+	if got := da.Reconstruct(q, nil); len(got) != 0 {
+		t.Fatalf("reconstructed %d elements from empty filter", len(got))
+	}
+}
+
+func TestDictionaryAttackOpsLinearInM(t *testing.T) {
+	fam := simpleFam(t, 3000)
+	q := bloom.NewFromElements(fam, []uint64{1})
+	da := DictionaryAttack{Namespace: 12345}
+	rng := rand.New(rand.NewSource(3))
+	var ops core.Ops
+	da.Sample(q, rng, &ops)
+	if ops.Memberships != 12345 {
+		t.Fatalf("memberships = %d, want 12345", ops.Memberships)
+	}
+}
+
+func TestDictionaryAttackReconstructMatchesGroundTruth(t *testing.T) {
+	const M = 20000
+	fam := simpleFam(t, 5000)
+	rng := rand.New(rand.NewSource(4))
+	q := bloom.New(fam)
+	for i := 0; i < 200; i++ {
+		q.Add(rng.Uint64() % M)
+	}
+	da := DictionaryAttack{Namespace: M}
+	got := da.Reconstruct(q, nil)
+	idx := 0
+	for y := uint64(0); y < M; y++ {
+		if q.Contains(y) {
+			if idx >= len(got) || got[idx] != y {
+				t.Fatalf("reconstruction mismatch at %d", y)
+			}
+			idx++
+		}
+	}
+	if idx != len(got) {
+		t.Fatalf("reconstruction has %d extra elements", len(got)-idx)
+	}
+}
+
+func TestDictionaryAttackSampleN(t *testing.T) {
+	const M = 5000
+	fam := simpleFam(t, 3000)
+	set := []uint64{10, 500, 999, 1500, 4999}
+	q := bloom.NewFromElements(fam, set)
+	da := DictionaryAttack{Namespace: M}
+	rng := rand.New(rand.NewSource(5))
+	got := da.SampleN(q, 3, rng, nil)
+	if len(got) != 3 {
+		t.Fatalf("got %d samples, want 3", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range got {
+		if !q.Contains(x) {
+			t.Fatalf("non-positive %d", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+	// Requesting more than available returns all positives.
+	all := da.SampleN(q, 100000, rng, nil)
+	truth := da.Reconstruct(q, nil)
+	if len(all) != len(truth) {
+		t.Fatalf("SampleN(all) = %d, want %d", len(all), len(truth))
+	}
+	if da.SampleN(q, 0, rng, nil) != nil {
+		t.Fatal("r=0 returned samples")
+	}
+}
+
+func TestHashInvertRequiresInvertibleFamily(t *testing.T) {
+	fam := hashfam.MustNew(hashfam.KindMurmur3, 3000, 3, 1)
+	q := bloom.NewFromElements(fam, []uint64{1, 2, 3})
+	hi := HashInvert{Namespace: 10000}
+	rng := rand.New(rand.NewSource(6))
+	if _, _, err := hi.Sample(q, rng, nil); err == nil {
+		t.Fatal("non-invertible family accepted by Sample")
+	}
+	if _, err := hi.Reconstruct(q, nil); err == nil {
+		t.Fatal("non-invertible family accepted by Reconstruct")
+	}
+}
+
+func TestHashInvertSampleReturnsPositives(t *testing.T) {
+	const M = 50000
+	fam := simpleFam(t, 9000)
+	rng := rand.New(rand.NewSource(7))
+	q := bloom.New(fam)
+	for i := 0; i < 300; i++ {
+		q.Add(rng.Uint64() % M)
+	}
+	hi := HashInvert{Namespace: M}
+	found := 0
+	for i := 0; i < 100; i++ {
+		x, ok, err := hi.Sample(q, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found++
+			if !q.Contains(x) {
+				t.Fatalf("sampled non-positive %d", x)
+			}
+		}
+	}
+	// Every set bit of a non-empty filter has at least one true preimage
+	// that contains it, but pruning can fail only... set bits always come
+	// from inserted elements whose full signature passes, so nearly all
+	// rounds should succeed.
+	if found < 90 {
+		t.Fatalf("only %d/100 sampling rounds succeeded", found)
+	}
+}
+
+func TestHashInvertSampleEmptyFilter(t *testing.T) {
+	fam := simpleFam(t, 3000)
+	q := bloom.New(fam)
+	hi := HashInvert{Namespace: 1000}
+	rng := rand.New(rand.NewSource(8))
+	if _, ok, err := hi.Sample(q, rng, nil); err != nil || ok {
+		t.Fatalf("empty filter: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHashInvertReconstructMatchesDictionaryAttack(t *testing.T) {
+	// Sparse filter: set-bit variant.
+	const M = 30000
+	fam := simpleFam(t, 9000)
+	rng := rand.New(rand.NewSource(9))
+	q := bloom.New(fam)
+	for i := 0; i < 100; i++ {
+		q.Add(rng.Uint64() % M)
+	}
+	if q.FillRatio() > 0.5 {
+		t.Fatalf("test setup: filter too dense (%.2f)", q.FillRatio())
+	}
+	hi := HashInvert{Namespace: M}
+	da := DictionaryAttack{Namespace: M}
+	got, err := hi.Reconstruct(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := da.Reconstruct(q, nil)
+	if len(got) != len(want) {
+		t.Fatalf("HashInvert %d elements, DictionaryAttack %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at index %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHashInvertReconstructDenseVariant(t *testing.T) {
+	// Dense filter (small m, many elements): unset-bit variant.
+	const M = 20000
+	fam := simpleFam(t, 1500)
+	rng := rand.New(rand.NewSource(10))
+	q := bloom.New(fam)
+	for i := 0; i < 400; i++ {
+		q.Add(rng.Uint64() % M)
+	}
+	if q.FillRatio() <= 0.5 {
+		t.Fatalf("test setup: filter not dense (%.2f)", q.FillRatio())
+	}
+	hi := HashInvert{Namespace: M}
+	da := DictionaryAttack{Namespace: M}
+	got, err := hi.Reconstruct(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := da.Reconstruct(q, nil)
+	if len(got) != len(want) {
+		t.Fatalf("HashInvert %d elements, DictionaryAttack %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at index %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHashInvertFewerMembershipsThanDictionaryAttackSparse(t *testing.T) {
+	// The point of HashInvert: membership queries ~ t·M/m < M for sparse
+	// filters.
+	const M = 100000
+	fam := simpleFam(t, 30000)
+	rng := rand.New(rand.NewSource(11))
+	q := bloom.New(fam)
+	for i := 0; i < 500; i++ {
+		q.Add(rng.Uint64() % M)
+	}
+	hi := HashInvert{Namespace: M}
+	var ops core.Ops
+	if _, err := hi.Reconstruct(q, &ops); err != nil {
+		t.Fatal(err)
+	}
+	if ops.Memberships >= M {
+		t.Fatalf("HashInvert used %d memberships (>= M=%d)", ops.Memberships, M)
+	}
+}
+
+func TestHashInvertSampleOpsCounted(t *testing.T) {
+	const M = 50000
+	fam := simpleFam(t, 9000)
+	q := bloom.NewFromElements(fam, []uint64{5, 10, 20})
+	hi := HashInvert{Namespace: M}
+	rng := rand.New(rand.NewSource(12))
+	var ops core.Ops
+	if _, _, err := hi.Sample(q, rng, &ops); err != nil {
+		t.Fatal(err)
+	}
+	if ops.Memberships == 0 {
+		t.Fatal("memberships not counted")
+	}
+	// Sampling inverts one bit under k functions: ~k·M/m candidates.
+	bound := uint64(3*(M/9000+1)) * 4
+	if ops.Memberships > bound {
+		t.Fatalf("memberships %d exceed expected ~k·M/m bound %d", ops.Memberships, bound)
+	}
+}

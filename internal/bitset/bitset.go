@@ -1,0 +1,340 @@
+// Package bitset provides a fixed-size, word-packed bit vector used as the
+// storage substrate for Bloom filters. It supports the operations the paper
+// relies on: setting/testing bits, popcount, bitwise AND/OR (both allocating
+// and in-place), iteration over set and unset bits, and binary
+// serialization.
+package bitset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bit vector of n bits. The zero value is not usable;
+// construct with New.
+type Set struct {
+	n     uint64
+	words []uint64
+}
+
+// New returns a bit vector with n bits, all zero.
+func New(n uint64) *Set {
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits in the vector.
+func (s *Set) Len() uint64 { return s.n }
+
+// Words returns the number of 64-bit words backing the vector.
+func (s *Set) Words() int { return len(s.words) }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (s *Set) Set(i uint64) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (s *Set) Clear(i uint64) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Test reports whether bit i is 1. It panics if i is out of range.
+func (s *Set) Test(i uint64) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+func (s *Set) check(i uint64) {
+	if i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of bits set to 1.
+func (s *Set) Count() uint64 {
+	var c uint64
+	for _, w := range s.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (s *Set) None() bool { return !s.Any() }
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits to 1.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+}
+
+// maskTail zeroes the unused bits of the last word so that Count and
+// equality remain exact.
+func (s *Set) maskTail() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t have the same length and identical bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And returns a new vector that is the bitwise AND of s and t.
+// It panics if the lengths differ.
+func (s *Set) And(t *Set) *Set {
+	s.checkSameLen(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] & t.words[i]
+	}
+	return r
+}
+
+// Or returns a new vector that is the bitwise OR of s and t.
+// It panics if the lengths differ.
+func (s *Set) Or(t *Set) *Set {
+	s.checkSameLen(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] | t.words[i]
+	}
+	return r
+}
+
+// AndWith replaces s with s AND t. It panics if the lengths differ.
+func (s *Set) AndWith(t *Set) {
+	s.checkSameLen(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// OrWith replaces s with s OR t. It panics if the lengths differ.
+func (s *Set) OrWith(t *Set) {
+	s.checkSameLen(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndCount returns popcount(s AND t) without allocating the intersection.
+// It panics if the lengths differ.
+func (s *Set) AndCount(t *Set) uint64 {
+	s.checkSameLen(t)
+	var c uint64
+	for i := range s.words {
+		c += uint64(bits.OnesCount64(s.words[i] & t.words[i]))
+	}
+	return c
+}
+
+// AndAny reports whether s AND t has at least one set bit, short-circuiting
+// on the first non-zero word. It panics if the lengths differ.
+func (s *Set) AndAny(t *Set) bool {
+	s.checkSameLen(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubsetOf reports whether every set bit of s is also set in t.
+// It panics if the lengths differ.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	s.checkSameLen(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) checkSameLen(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, and whether
+// one exists.
+func (s *Set) NextSet(i uint64) (uint64, bool) {
+	if i >= s.n {
+		return 0, false
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (i % wordBits)
+	if w != 0 {
+		r := i + uint64(bits.TrailingZeros64(w))
+		return r, r < s.n
+	}
+	for wi++; wi < uint64(len(s.words)); wi++ {
+		if s.words[wi] != 0 {
+			r := wi*wordBits + uint64(bits.TrailingZeros64(s.words[wi]))
+			return r, r < s.n
+		}
+	}
+	return 0, false
+}
+
+// NextClear returns the index of the first clear bit at or after i, and
+// whether one exists.
+func (s *Set) NextClear(i uint64) (uint64, bool) {
+	if i >= s.n {
+		return 0, false
+	}
+	wi := i / wordBits
+	w := ^s.words[wi] >> (i % wordBits)
+	if w != 0 {
+		r := i + uint64(bits.TrailingZeros64(w))
+		if r < s.n {
+			return r, true
+		}
+		return 0, false
+	}
+	for wi++; wi < uint64(len(s.words)); wi++ {
+		if ^s.words[wi] != 0 {
+			r := wi*wordBits + uint64(bits.TrailingZeros64(^s.words[wi]))
+			if r < s.n {
+				return r, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// ForEachSet calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEachSet(fn func(i uint64) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			if !fn(uint64(wi)*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachClear calls fn for every clear bit in ascending order. If fn
+// returns false, iteration stops early.
+func (s *Set) ForEachClear(fn func(i uint64) bool) {
+	for wi := range s.words {
+		w := ^s.words[wi]
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			i := uint64(wi)*wordBits + b
+			if i >= s.n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// SizeBytes returns the in-memory size of the backing array in bytes.
+func (s *Set) SizeBytes() uint64 { return uint64(len(s.words)) * 8 }
+
+// MarshalBinary encodes the bit vector as an 8-byte little-endian length
+// followed by the packed words.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+len(s.words)*8)
+	binary.LittleEndian.PutUint64(buf, s.n)
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(buf[8+i*8:], w)
+	}
+	return buf, nil
+}
+
+// ErrCorrupt is returned by UnmarshalBinary when the encoding is malformed.
+var ErrCorrupt = errors.New("bitset: corrupt encoding")
+
+// UnmarshalBinary decodes a vector produced by MarshalBinary.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(data)
+	nw := int((n + wordBits - 1) / wordBits)
+	if len(data) != 8+nw*8 {
+		return ErrCorrupt
+	}
+	s.n = n
+	s.words = make([]uint64, nw)
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(data[8+i*8:])
+	}
+	s.maskTail()
+	return nil
+}
+
+// String renders the vector as a left-to-right bit string (bit 0 first),
+// truncated with an ellipsis beyond 128 bits. Intended for debugging.
+func (s *Set) String() string {
+	n := s.n
+	trunc := false
+	if n > 128 {
+		n, trunc = 128, true
+	}
+	b := make([]byte, 0, n+3)
+	for i := uint64(0); i < n; i++ {
+		if s.Test(i) {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	if trunc {
+		b = append(b, '.', '.', '.')
+	}
+	return string(b)
+}

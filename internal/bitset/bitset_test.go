@@ -1,0 +1,445 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Any() {
+		t.Fatal("Any = true on empty set")
+	}
+	if !s.None() {
+		t.Fatal("None = false on empty set")
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []uint64{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	s.Set(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Set":   func() { s.Set(10) },
+		"Test":  func() { s.Test(10) },
+		"Clear": func() { s.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFillAndReset(t *testing.T) {
+	for _, n := range []uint64{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+		s.Reset()
+		if s.Count() != 0 {
+			t.Fatalf("n=%d: Count after Reset = %d", n, s.Count())
+		}
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	a.Set(1)
+	a.Set(100)
+	a.Set(199)
+	b.Set(100)
+	b.Set(150)
+
+	and := a.And(b)
+	if and.Count() != 1 || !and.Test(100) {
+		t.Fatalf("And wrong: %v", and)
+	}
+	or := a.Or(b)
+	if or.Count() != 4 {
+		t.Fatalf("Or count = %d, want 4", or.Count())
+	}
+	for _, i := range []uint64{1, 100, 150, 199} {
+		if !or.Test(i) {
+			t.Fatalf("Or missing bit %d", i)
+		}
+	}
+	// Originals untouched.
+	if a.Count() != 3 || b.Count() != 2 {
+		t.Fatal("And/Or mutated operands")
+	}
+}
+
+func TestAndWithOrWith(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(5)
+	a.Set(69)
+	b.Set(5)
+	b.Set(6)
+	c := a.Clone()
+	c.AndWith(b)
+	if c.Count() != 1 || !c.Test(5) {
+		t.Fatal("AndWith wrong")
+	}
+	d := a.Clone()
+	d.OrWith(b)
+	if d.Count() != 3 {
+		t.Fatal("OrWith wrong")
+	}
+}
+
+func TestAndCountAndAny(t *testing.T) {
+	a := New(500)
+	b := New(500)
+	if a.AndAny(b) {
+		t.Fatal("AndAny on empty sets")
+	}
+	a.Set(400)
+	b.Set(400)
+	a.Set(3)
+	if got := a.AndCount(b); got != 1 {
+		t.Fatalf("AndCount = %d, want 1", got)
+	}
+	if !a.AndAny(b) {
+		t.Fatal("AndAny = false with shared bit")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a := New(10)
+	b := New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched length did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("empty not subset of empty")
+	}
+	b.Set(10)
+	b.Set(20)
+	a.Set(10)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("{10} not subset of {10,20}")
+	}
+	a.Set(30)
+	if a.IsSubsetOf(b) {
+		t.Fatal("{10,30} subset of {10,20}")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	for _, i := range []uint64{5, 64, 128, 299} {
+		s.Set(i)
+	}
+	var got []uint64
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := []uint64{5, 64, 128, 299}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, ok := s.NextSet(300); ok {
+		t.Fatal("NextSet beyond length returned ok")
+	}
+}
+
+func TestNextClear(t *testing.T) {
+	s := New(66)
+	s.Fill()
+	s.Clear(0)
+	s.Clear(65)
+	if i, ok := s.NextClear(0); !ok || i != 0 {
+		t.Fatalf("NextClear(0) = %d,%v", i, ok)
+	}
+	if i, ok := s.NextClear(1); !ok || i != 65 {
+		t.Fatalf("NextClear(1) = %d,%v", i, ok)
+	}
+	if _, ok := s.NextClear(66); ok {
+		t.Fatal("NextClear beyond length returned ok")
+	}
+	full := New(64)
+	full.Fill()
+	if _, ok := full.NextClear(0); ok {
+		t.Fatal("NextClear on full set returned ok")
+	}
+}
+
+func TestForEachSet(t *testing.T) {
+	s := New(130)
+	want := []uint64{0, 63, 64, 129}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []uint64
+	s.ForEachSet(func(i uint64) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	s.ForEachSet(func(uint64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestForEachClear(t *testing.T) {
+	s := New(67)
+	s.Fill()
+	s.Clear(1)
+	s.Clear(66)
+	var got []uint64
+	s.ForEachClear(func(i uint64) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 66 {
+		t.Fatalf("ForEachClear got %v", got)
+	}
+}
+
+func TestForEachClearDoesNotExceedLen(t *testing.T) {
+	// n not a multiple of 64: tail bits of the last word must not be
+	// reported as clear.
+	s := New(65)
+	var got []uint64
+	s.ForEachClear(func(i uint64) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != 65 {
+		t.Fatalf("ForEachClear visited %d bits, want 65", len(got))
+	}
+	if got[len(got)-1] != 64 {
+		t.Fatalf("last clear bit = %d, want 64", got[len(got)-1])
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	s := New(100)
+	s.Set(42)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(43)
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if s.Test(43) {
+		t.Fatal("mutating clone mutated original")
+	}
+	if s.Equal(New(101)) {
+		t.Fatal("Equal across different lengths")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []uint64{1, 64, 65, 1000} {
+		s := New(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := uint64(0); i < n/3+1; i++ {
+			s.Set(uint64(rng.Int63n(int64(n))))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Set
+		if err := d.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(&d) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	var s Set
+	if err := s.UnmarshalBinary([]byte{1, 2, 3}); err != ErrCorrupt {
+		t.Fatalf("short input: err = %v, want ErrCorrupt", err)
+	}
+	good, _ := New(100).MarshalBinary()
+	if err := s.UnmarshalBinary(good[:len(good)-1]); err != ErrCorrupt {
+		t.Fatalf("truncated input: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(4)
+	s.Set(1)
+	s.Set(3)
+	if got := s.String(); got != "0101" {
+		t.Fatalf("String = %q, want 0101", got)
+	}
+	long := New(200)
+	if got := long.String(); len(got) != 131 {
+		t.Fatalf("long String len = %d, want 131", len(got))
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Fatalf("SizeBytes(64) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Fatalf("SizeBytes(65) = %d, want 16", got)
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		seen := map[uint16]bool{}
+		for _, i := range idx {
+			s.Set(uint64(i))
+			seen[i] = true
+		}
+		return s.Count() == uint64(len(seen))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish — popcount(a AND b) + popcount(a OR b) ==
+// popcount(a) + popcount(b).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(ai, bi []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, i := range ai {
+			a.Set(uint64(i))
+		}
+		for _, i := range bi {
+			b.Set(uint64(i))
+		}
+		return a.And(b).Count()+a.Or(b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndCount agrees with And().Count() and AndAny with Count>0.
+func TestQuickAndCountConsistent(t *testing.T) {
+	f := func(ai, bi []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, i := range ai {
+			a.Set(uint64(i))
+		}
+		for _, i := range bi {
+			b.Set(uint64(i))
+		}
+		cnt := a.And(b).Count()
+		return a.AndCount(b) == cnt && a.AndAny(b) == (cnt > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(idx []uint16, extra uint8) bool {
+		n := uint64(1<<16) + uint64(extra) // exercise non-word-aligned tails
+		s := New(n)
+		for _, i := range idx {
+			s.Set(uint64(i))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var d Set
+		if err := d.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return s.Equal(&d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	a := New(1 << 17)
+	c := New(1 << 17)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a.Set(uint64(rng.Int63n(1 << 17)))
+		c.Set(uint64(rng.Int63n(1 << 17)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.AndCount(c)
+	}
+}

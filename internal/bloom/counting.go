@@ -1,0 +1,114 @@
+package bloom
+
+import (
+	"fmt"
+
+	"repro/internal/hashfam"
+)
+
+// CountingFilter is a counting Bloom filter: each position holds an 8-bit
+// saturating counter instead of one bit, so elements can be removed. The
+// paper's motivating applications store *dynamic* communities (§1); a
+// plain Bloom filter cannot forget a member, while a counting filter can,
+// at 8× the memory. Snapshot() projects the current state onto a plain
+// Filter compatible with a BloomSampleTree, so dynamic sets can still be
+// sampled and reconstructed.
+//
+// Counters saturate at 255 rather than wrap; a saturated counter is never
+// decremented (standard counting-filter practice: correctness degrades to
+// "may yield false positives", never false negatives for present
+// elements, as long as Remove is only called for previously Added
+// elements).
+type CountingFilter struct {
+	counts  []uint8
+	fam     hashfam.Family
+	n       uint64 // live insertions (Add minus Remove)
+	scratch []uint64
+}
+
+// NewCounting returns an empty counting filter for the family.
+func NewCounting(fam hashfam.Family) *CountingFilter {
+	return &CountingFilter{
+		counts:  make([]uint8, fam.M()),
+		fam:     fam,
+		scratch: make([]uint64, 0, fam.K()),
+	}
+}
+
+// M returns the filter length in positions.
+func (c *CountingFilter) M() uint64 { return uint64(len(c.counts)) }
+
+// K returns the number of hash functions.
+func (c *CountingFilter) K() int { return c.fam.K() }
+
+// Live returns the net number of insertions (Add calls minus successful
+// Remove calls).
+func (c *CountingFilter) Live() uint64 { return c.n }
+
+// Add inserts x.
+func (c *CountingFilter) Add(x uint64) {
+	c.scratch = c.fam.Positions(x, c.scratch[:0])
+	for _, p := range c.scratch {
+		if c.counts[p] != 255 {
+			c.counts[p]++
+		}
+	}
+	c.n++
+}
+
+// Remove deletes one previous insertion of x. It returns an error if x is
+// not currently a positive (removing a never-added element would corrupt
+// other elements' counters).
+func (c *CountingFilter) Remove(x uint64) error {
+	c.scratch = c.fam.Positions(x, c.scratch[:0])
+	for _, p := range c.scratch {
+		if c.counts[p] == 0 {
+			return fmt.Errorf("bloom: remove of non-member %d", x)
+		}
+	}
+	for _, p := range c.scratch {
+		if c.counts[p] != 255 { // saturated counters are pinned
+			c.counts[p]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+	return nil
+}
+
+// Contains reports whether x is a (possibly false) positive.
+func (c *CountingFilter) Contains(x uint64) bool {
+	c.scratch = c.fam.Positions(x, c.scratch[:0])
+	for _, p := range c.scratch {
+		if c.counts[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot projects the counting filter onto a plain Filter (counter > 0
+// → bit set) sharing the same family, ready for use against a
+// BloomSampleTree built with the same parameters.
+func (c *CountingFilter) Snapshot() *Filter {
+	f := New(c.fam)
+	for p, cnt := range c.counts {
+		if cnt > 0 {
+			f.bits.Set(uint64(p))
+		}
+	}
+	f.n = c.n
+	return f
+}
+
+// SizeBytes returns the in-memory size of the counter array.
+func (c *CountingFilter) SizeBytes() uint64 { return uint64(len(c.counts)) }
+
+// Reset clears the filter.
+func (c *CountingFilter) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.n = 0
+}

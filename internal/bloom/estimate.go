@@ -1,0 +1,116 @@
+package bloom
+
+import "math"
+
+// FalsePositiveRate returns the standard Bloom-filter false-positive
+// probability (1 − e^{−kn/m})^k for a filter of m bits, k hash functions
+// and n stored elements (§3.1).
+func FalsePositiveRate(m uint64, k int, n uint64) float64 {
+	if m == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// FalseSetOverlapProb returns the probability of Eq. (1): for two disjoint
+// sets of sizes n1 and n2 stored in filters of m bits with k hash
+// functions, the probability that the bitwise AND of the filters is
+// non-empty even though the sets are disjoint:
+//
+//	P[FSO∩] = 1 − (1 − 1/m)^{k²·n1·n2}
+func FalseSetOverlapProb(m uint64, k int, n1, n2 uint64) float64 {
+	if m == 0 {
+		return 1
+	}
+	exponent := float64(k) * float64(k) * float64(n1) * float64(n2)
+	// (1−1/m)^e = exp(e·log1p(−1/m)); log1p keeps precision for large m.
+	return 1 - math.Exp(exponent*math.Log1p(-1/float64(m)))
+}
+
+// EstimateCardinalityFromCounts returns the paper's population estimate
+// n̂ = ln(ẑ/m) / (k·ln(1−1/m)) given the number of zero bits ẑ
+// (Prop. 5.2 proof). zero == 0 (a saturated filter) yields +Inf.
+func EstimateCardinalityFromCounts(m uint64, k int, zero uint64) float64 {
+	if zero == 0 {
+		return math.Inf(1)
+	}
+	if zero >= m {
+		return 0
+	}
+	return math.Log(float64(zero)/float64(m)) / (float64(k) * math.Log1p(-1/float64(m)))
+}
+
+// EstimateCardinality returns the estimated number of distinct elements
+// stored in f.
+func (f *Filter) EstimateCardinality() float64 {
+	return EstimateCardinalityFromCounts(f.M(), f.K(), f.M()-f.SetBits())
+}
+
+// EstimateIntersection returns the Papapetrou et al. estimate of the size
+// of the intersection of the sets stored in two filters (§5.3):
+//
+//	Ŝ⁻¹(t1,t2,t∧) = [ln(m − (t∧·m − t1·t2)/(m − t1 − t2 + t∧)) − ln m]
+//	                 / (k·ln(1 − 1/m))
+//
+// where t1 and t2 are the set-bit counts of the two filters and t∧ the
+// set-bit count of their bitwise AND. Degenerate inputs (saturated
+// filters, t∧ ≥ min(t1,t2) rounding artifacts) are clamped to sensible
+// non-negative values; an all-zero AND yields 0.
+func EstimateIntersection(m uint64, k int, t1, t2, tand uint64) float64 {
+	if tand == 0 {
+		return 0
+	}
+	mf := float64(m)
+	// Saturation guard: when either filter has nearly all bits set, the
+	// estimator's signal (shared bits beyond the t1·t2/m chance level)
+	// vanishes and the formula returns noise — including spurious zeros
+	// that would prune live branches of the BloomSampleTree. A saturated
+	// filter carries no information, so fall back to the smaller of the
+	// two single-filter cardinalities (an upper bound on the intersection
+	// and the best remaining estimate).
+	const saturation = 0.9
+	if float64(t1) >= saturation*mf || float64(t2) >= saturation*mf {
+		return math.Min(
+			EstimateCardinalityFromCounts(m, k, m-t1),
+			EstimateCardinalityFromCounts(m, k, m-t2))
+	}
+	denomInner := mf - float64(t1) - float64(t2) + float64(tand)
+	if denomInner <= 0 {
+		// Unreachable for unsaturated filters (t∧ ≤ min(t1,t2) keeps the
+		// denominator positive when t1+t2 < m·(1+sat)); kept as a safety
+		// net for adversarial counts.
+		return EstimateCardinalityFromCounts(m, k, m-tand)
+	}
+	inner := mf - (float64(tand)*mf-float64(t1)*float64(t2))/denomInner
+	if inner <= 0 {
+		return math.Inf(1) // AND explains more than the whole filter: huge set
+	}
+	if inner >= mf {
+		return 0 // estimated zero count >= m: empty intersection
+	}
+	est := (math.Log(inner) - math.Log(mf)) / (float64(k) * math.Log1p(-1/mf))
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// EstimateIntersectionOf computes EstimateIntersection directly from two
+// filters, without materializing their AND.
+func EstimateIntersectionOf(a, b *Filter) float64 {
+	return EstimateIntersection(a.M(), a.K(), a.SetBits(), b.SetBits(), a.IntersectionSetBits(b))
+}
+
+// Accuracy returns the paper's accuracy measure (§5.4)
+//
+//	acc = n / (n + (M−n)·FP)
+//
+// for a query set of size n in a namespace of size M with false-positive
+// rate FP: the ratio of true elements to all elements that answer a
+// membership query positively.
+func Accuracy(n, M uint64, fp float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(n) / (float64(n) + float64(M-n)*fp)
+}

@@ -1,0 +1,189 @@
+// Package bloom implements the Bloom filter substrate of the paper (§3.1):
+// insertion, membership, union and intersection (bitwise OR/AND), together
+// with the estimators the BloomSampleTree relies on — single-filter
+// cardinality estimation, the Papapetrou et al. intersection-size estimate
+// Ŝ⁻¹(t1,t2,t∧) used in §5.3, the false-set-overlap probability of
+// Eq. (1), the classic false-positive rate, and the accuracy-driven
+// parameter planning of §5.4.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hashfam"
+)
+
+// Filter is a Bloom filter over a namespace of uint64 elements. All filters
+// that are unioned, intersected, or served by a common BloomSampleTree must
+// share the same length m and hash family H (§3.1, §5.1); Compatible checks
+// this.
+type Filter struct {
+	bits    *bitset.Set
+	fam     hashfam.Family
+	n       uint64 // number of Add calls (insertions, not distinct elements)
+	scratch []uint64
+}
+
+// New returns an empty filter using the given family; the filter length is
+// the family's range M().
+func New(fam hashfam.Family) *Filter {
+	return &Filter{
+		bits:    bitset.New(fam.M()),
+		fam:     fam,
+		scratch: make([]uint64, 0, fam.K()),
+	}
+}
+
+// NewFromElements builds a filter containing every element of xs.
+func NewFromElements(fam hashfam.Family, xs []uint64) *Filter {
+	f := New(fam)
+	for _, x := range xs {
+		f.Add(x)
+	}
+	return f
+}
+
+// M returns the filter length in bits.
+func (f *Filter) M() uint64 { return f.bits.Len() }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.fam.K() }
+
+// Family returns the filter's hash family.
+func (f *Filter) Family() hashfam.Family { return f.fam }
+
+// Insertions returns the number of Add calls made on this filter (not the
+// number of distinct elements; re-adding counts). Filters produced by
+// Union/Intersect report the sum/zero respectively, since exact counts are
+// unknowable — use EstimateCardinality for those.
+func (f *Filter) Insertions() uint64 { return f.n }
+
+// Add inserts x into the filter.
+func (f *Filter) Add(x uint64) {
+	f.scratch = f.fam.Positions(x, f.scratch[:0])
+	for _, p := range f.scratch {
+		f.bits.Set(p)
+	}
+	f.n++
+}
+
+// Contains reports whether x is a (possibly false) positive of the filter.
+// A Bloom filter never yields false negatives.
+func (f *Filter) Contains(x uint64) bool {
+	f.scratch = f.fam.Positions(x, f.scratch[:0])
+	for _, p := range f.scratch {
+		if !f.bits.Test(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBits returns the number of 1 bits (t in the paper's estimators).
+func (f *Filter) SetBits() uint64 { return f.bits.Count() }
+
+// FillRatio returns the fraction of bits set.
+func (f *Filter) FillRatio() float64 { return float64(f.bits.Count()) / float64(f.bits.Len()) }
+
+// Empty reports whether no bit is set (the canonical empty-set encoding).
+func (f *Filter) Empty() bool { return f.bits.None() }
+
+// Reset clears the filter to the empty set.
+func (f *Filter) Reset() {
+	f.bits.Reset()
+	f.n = 0
+}
+
+// Clone returns a deep copy of the filter (sharing the immutable family).
+func (f *Filter) Clone() *Filter {
+	return &Filter{bits: f.bits.Clone(), fam: f.fam, n: f.n, scratch: make([]uint64, 0, f.fam.K())}
+}
+
+// Equal reports whether two filters have identical bit vectors and
+// compatible parameters.
+func (f *Filter) Equal(g *Filter) bool {
+	return f.Compatible(g) == nil && f.bits.Equal(g.bits)
+}
+
+// ErrIncompatible is returned when two filters cannot be combined.
+var ErrIncompatible = errors.New("bloom: incompatible filters")
+
+// Compatible returns nil if g uses the same m, k, family kind and seed as
+// f, and a descriptive error otherwise.
+func (f *Filter) Compatible(g *Filter) error {
+	if f.M() != g.M() || f.K() != g.K() ||
+		f.fam.Kind() != g.fam.Kind() || f.fam.Seed() != g.fam.Seed() {
+		return fmt.Errorf("%w: (m=%d,k=%d,%s,seed=%d) vs (m=%d,k=%d,%s,seed=%d)",
+			ErrIncompatible, f.M(), f.K(), f.fam.Kind(), f.fam.Seed(),
+			g.M(), g.K(), g.fam.Kind(), g.fam.Seed())
+	}
+	return nil
+}
+
+// Union returns a new filter representing the set union: B(A∪B) =
+// B(A) OR B(B) (§3.1). It returns an error if the filters are incompatible.
+func (f *Filter) Union(g *Filter) (*Filter, error) {
+	if err := f.Compatible(g); err != nil {
+		return nil, err
+	}
+	return &Filter{bits: f.bits.Or(g.bits), fam: f.fam, n: f.n + g.n,
+		scratch: make([]uint64, 0, f.fam.K())}, nil
+}
+
+// Intersect returns a new filter that is the bitwise AND of f and g, the
+// paper's approximation of B(A∩B) (§3.1). It returns an error if the
+// filters are incompatible.
+func (f *Filter) Intersect(g *Filter) (*Filter, error) {
+	if err := f.Compatible(g); err != nil {
+		return nil, err
+	}
+	return &Filter{bits: f.bits.And(g.bits), fam: f.fam,
+		scratch: make([]uint64, 0, f.fam.K())}, nil
+}
+
+// UnionWith ORs g into f in place. It returns an error if incompatible.
+func (f *Filter) UnionWith(g *Filter) error {
+	if err := f.Compatible(g); err != nil {
+		return err
+	}
+	f.bits.OrWith(g.bits)
+	f.n += g.n
+	return nil
+}
+
+// IntersectionSetBits returns popcount(f AND g) — t∧ in the intersection
+// estimator — without materializing the intersection.
+func (f *Filter) IntersectionSetBits(g *Filter) uint64 { return f.bits.AndCount(g.bits) }
+
+// IntersectsAny reports whether f AND g has any set bit.
+func (f *Filter) IntersectsAny(g *Filter) bool { return f.bits.AndAny(g.bits) }
+
+// ForEachSetBit iterates over the positions of set bits in ascending order;
+// fn returning false stops iteration. Used by HashInvert.
+func (f *Filter) ForEachSetBit(fn func(pos uint64) bool) { f.bits.ForEachSet(fn) }
+
+// ForEachClearBit iterates over the positions of clear bits in ascending
+// order; fn returning false stops iteration. Used by HashInvert's dense
+// variant.
+func (f *Filter) ForEachClearBit(fn func(pos uint64) bool) { f.bits.ForEachClear(fn) }
+
+// SizeBytes returns the in-memory size of the bit vector in bytes (the
+// quantity the paper's memory tables report, §7.2).
+func (f *Filter) SizeBytes() uint64 { return f.bits.SizeBytes() }
+
+// Bits exposes the underlying bit vector for read-only use by tightly
+// coupled packages (the tree builder unions children in place).
+func (f *Filter) Bits() *bitset.Set { return f.bits }
+
+// NewFromBits wraps an existing bit vector (taking ownership of it) in a
+// filter using the given family; the vector length must equal the
+// family's range. Used when deserializing structures that store raw bit
+// vectors.
+func NewFromBits(fam hashfam.Family, bits *bitset.Set) *Filter {
+	if bits.Len() != fam.M() {
+		panic(fmt.Sprintf("bloom: bit vector has %d bits, family expects %d", bits.Len(), fam.M()))
+	}
+	return &Filter{bits: bits, fam: fam, scratch: make([]uint64, 0, fam.K())}
+}

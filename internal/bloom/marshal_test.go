@@ -1,0 +1,64 @@
+package bloom
+
+import (
+	"testing"
+
+	"repro/internal/hashfam"
+)
+
+func TestFilterMarshalRoundTrip(t *testing.T) {
+	for _, kind := range hashfam.Kinds() {
+		fam := hashfam.MustNew(kind, 12345, 3, 77)
+		f := NewFromElements(fam, []uint64{1, 99, 5000, 1 << 30})
+		data, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := UnmarshalFilter(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Equal(g) {
+			t.Fatalf("%s: round trip not equal", kind)
+		}
+		if g.Insertions() != 4 {
+			t.Fatalf("%s: insertions = %d", kind, g.Insertions())
+		}
+		// The decoded filter must answer queries identically.
+		for x := uint64(0); x < 2000; x++ {
+			if f.Contains(x) != g.Contains(x) {
+				t.Fatalf("%s: membership differs at %d", kind, x)
+			}
+		}
+		// And must be compatible with the original (same family params).
+		if err := f.Compatible(g); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestUnmarshalFilterErrors(t *testing.T) {
+	if _, err := UnmarshalFilter(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := UnmarshalFilter([]byte("XXXX....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	fam := hashfam.MustNew(hashfam.KindFNV, 1000, 3, 1)
+	good, err := NewFromElements(fam, []uint64{1}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalFilter(good[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := UnmarshalFilter(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Corrupt family kind.
+	bad := append([]byte(nil), good...)
+	copy(bad[5:], "zzz")
+	if _, err := UnmarshalFilter(bad); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxPlannedAccuracy is the cap applied to requested sampling accuracy. A
+// literal accuracy of 1.0 requires a zero false-positive rate and hence an
+// infinite filter; back-solving the paper's own Table 2/3 rows labelled
+// "1.0" (m = 137230 for M = 10⁶ and m = 297485 for M = 10⁷ at n = 10³,
+// k = 3) yields a realized accuracy of 0.990 in both cases, so the paper
+// effectively used 0.99 and we do the same.
+const MaxPlannedAccuracy = 0.99
+
+// Params carries the planned Bloom-filter parameters for a desired
+// sampling accuracy (§5.4).
+type Params struct {
+	M        uint64  // namespace size
+	N        uint64  // design query-set size
+	K        int     // number of hash functions
+	Accuracy float64 // requested accuracy (after capping)
+	FP       float64 // false-positive rate implied by Accuracy
+	Bits     uint64  // filter size m in bits
+}
+
+// FPForAccuracy inverts the accuracy model acc = n/(n + (M−n)·FP), giving
+// the false-positive rate required to achieve accuracy acc for query sets
+// of size n in a namespace of size M.
+func FPForAccuracy(acc float64, n, M uint64) float64 {
+	if M <= n {
+		return 0
+	}
+	return float64(n) * (1 - acc) / (acc * float64(M-n))
+}
+
+// BitsForFP returns the filter size m achieving false-positive rate fp for
+// n elements with k hash functions: m = −k·n / ln(1 − fp^{1/k}).
+func BitsForFP(fp float64, n uint64, k int) uint64 {
+	if fp <= 0 || fp >= 1 {
+		panic(fmt.Sprintf("bloom: fp = %v out of (0,1)", fp))
+	}
+	root := math.Pow(fp, 1/float64(k))
+	m := -float64(k) * float64(n) / math.Log(1-root)
+	return uint64(math.Ceil(m))
+}
+
+// PlanParams picks the Bloom-filter size for a desired sampling accuracy,
+// design query-set size n, namespace size M and hash-function count k,
+// following §5.4. Accuracies above MaxPlannedAccuracy are capped (see that
+// constant for why). It returns an error for nonsensical inputs.
+func PlanParams(accuracy float64, n, M uint64, k int) (Params, error) {
+	if n == 0 || M <= n {
+		return Params{}, fmt.Errorf("bloom: need 0 < n < M, got n=%d M=%d", n, M)
+	}
+	if k < 1 {
+		return Params{}, fmt.Errorf("bloom: k = %d, need k >= 1", k)
+	}
+	if accuracy <= 0 || accuracy > 1 {
+		return Params{}, fmt.Errorf("bloom: accuracy = %v out of (0,1]", accuracy)
+	}
+	if accuracy > MaxPlannedAccuracy {
+		accuracy = MaxPlannedAccuracy
+	}
+	fp := FPForAccuracy(accuracy, n, M)
+	bits := BitsForFP(fp, n, k)
+	return Params{M: M, N: n, K: k, Accuracy: accuracy, FP: fp, Bits: bits}, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/hashfam"
+)
+
+// BuildTree constructs the full BloomSampleTree of Definition 5.1: every
+// node stores its entire namespace range. Leaves are filled by element
+// insertion; internal filters are formed by unioning children (valid
+// because all filters share m and H, §3.1), which is much cheaper than
+// re-inserting every element at every level.
+func BuildTree(cfg Config) (*Tree, error) {
+	t, err := newTree(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	t.root = t.buildFull(0, cfg.Namespace, cfg.Depth)
+	return t, nil
+}
+
+// BuildPruned constructs the Pruned-BloomSampleTree of §5.2 over the given
+// occupied identifiers: nodes are allocated only for ranges containing at
+// least one occupied id, and node filters store only occupied ids. The
+// occupied slice need not be sorted; duplicates are tolerated. Every id
+// must lie in [0, Namespace).
+func BuildPruned(cfg Config, occupied []uint64) (*Tree, error) {
+	t, err := newTree(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(occupied))
+	copy(ids, occupied)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if id >= cfg.Namespace {
+			return nil, fmt.Errorf("core: occupied id %d outside namespace [0,%d)", id, cfg.Namespace)
+		}
+	}
+	if len(ids) > 0 {
+		t.root = t.buildPruned(0, cfg.Namespace, cfg.Depth, ids)
+	}
+	return t, nil
+}
+
+func newTree(cfg Config, pruned bool) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fam, err := hashfam.New(cfg.HashKind, cfg.Bits, cfg.K, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{cfg: cfg, fam: fam, pruned: pruned}, nil
+}
+
+// buildFull recursively builds the complete tree for [lo, hi) with the
+// given remaining depth.
+func (t *Tree) buildFull(lo, hi uint64, depth int) *node {
+	n := &node{lo: lo, hi: hi}
+	t.nodes++
+	if depth == 0 || hi-lo <= 1 {
+		n.f = bloom.New(t.fam)
+		for x := lo; x < hi; x++ {
+			n.f.Add(x)
+		}
+		return n
+	}
+	mid := split(lo, hi)
+	n.left = t.buildFull(lo, mid, depth-1)
+	n.right = t.buildFull(mid, hi, depth-1)
+	f, err := n.left.f.Union(n.right.f)
+	if err != nil {
+		panic("core: sibling filters incompatible: " + err.Error()) // unreachable
+	}
+	n.f = f
+	return n
+}
+
+// buildPruned recursively builds nodes for ranges intersecting ids
+// (sorted). ids is exactly the occupied elements within [lo, hi).
+func (t *Tree) buildPruned(lo, hi uint64, depth int, ids []uint64) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	n := &node{lo: lo, hi: hi}
+	t.nodes++
+	if depth == 0 || hi-lo <= 1 {
+		n.f = bloom.NewFromElements(t.fam, ids)
+		return n
+	}
+	mid := split(lo, hi)
+	cut := sort.Search(len(ids), func(i int) bool { return ids[i] >= mid })
+	n.left = t.buildPruned(lo, mid, depth-1, ids[:cut])
+	n.right = t.buildPruned(mid, hi, depth-1, ids[cut:])
+	switch {
+	case n.left == nil:
+		n.f = n.right.f.Clone()
+	case n.right == nil:
+		n.f = n.left.f.Clone()
+	default:
+		f, err := n.left.f.Union(n.right.f)
+		if err != nil {
+			panic("core: sibling filters incompatible: " + err.Error()) // unreachable
+		}
+		n.f = f
+	}
+	return n
+}
+
+// Insert adds an occupied identifier to a pruned tree, growing nodes along
+// the root-to-leaf path as needed (§5.2: "either we need to insert this new
+// element into already existing nodes in the tree, or we need to create a
+// new node"). The cost is proportional to the height of the tree. Insert
+// returns an error on full trees (which already store the whole namespace)
+// and on out-of-range ids.
+func (t *Tree) Insert(x uint64) error {
+	if !t.pruned {
+		return fmt.Errorf("core: Insert is only supported on pruned trees")
+	}
+	if x >= t.cfg.Namespace {
+		return fmt.Errorf("core: id %d outside namespace [0,%d)", x, t.cfg.Namespace)
+	}
+	if t.root == nil {
+		t.root = &node{lo: 0, hi: t.cfg.Namespace, f: bloom.New(t.fam)}
+		t.nodes++
+	}
+	n := t.root
+	depth := t.cfg.Depth
+	for {
+		n.f.Add(x)
+		if depth == 0 || n.hi-n.lo <= 1 {
+			return nil
+		}
+		mid := split(n.lo, n.hi)
+		if x < mid {
+			if n.left == nil {
+				n.left = &node{lo: n.lo, hi: mid, f: bloom.New(t.fam)}
+				t.nodes++
+			}
+			n = n.left
+		} else {
+			if n.right == nil {
+				n.right = &node{lo: mid, hi: n.hi, f: bloom.New(t.fam)}
+				t.nodes++
+			}
+			n = n.right
+		}
+		depth--
+	}
+}

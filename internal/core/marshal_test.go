@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestTreeSaveLoadFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig(t, 50000, 300, 0.9, 6)
+	tree, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tree.bst")
+	if err := tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != tree.Nodes() || got.Depth() != tree.Depth() ||
+		got.Namespace() != tree.Namespace() || got.Pruned() != tree.Pruned() {
+		t.Fatalf("metadata mismatch: %d/%d nodes, %d/%d depth",
+			got.Nodes(), tree.Nodes(), got.Depth(), tree.Depth())
+	}
+	// The loaded tree must behave identically: same reconstruction for
+	// the same query.
+	set := uniformSet(rng, 50000, 300)
+	q1 := buildQueryFilter(t, tree, set)
+	q2 := buildQueryFilter(t, got, set)
+	r1, err := tree.Reconstruct(q1, PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := got.Reconstruct(q2, PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("reconstructions differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("reconstructions differ at %d", i)
+		}
+	}
+	// And sampling must work.
+	if _, err := got.Sample(q2, rng, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSaveLoadPruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := testConfig(t, 1<<20, 200, 0.9, 10)
+	occupied := uniformSet(rng, 1<<20, 2000)
+	tree, err := BuildPruned(cfg, occupied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != tree.Nodes() || !got.Pruned() {
+		t.Fatalf("pruned metadata lost: %d vs %d nodes, pruned=%v",
+			got.Nodes(), tree.Nodes(), got.Pruned())
+	}
+	// Dynamic insert must keep working on the loaded tree.
+	before := got.Nodes()
+	if err := got.Insert(uint64(1<<20 - 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() < before {
+		t.Fatal("insert shrank tree")
+	}
+	q := buildQueryFilter(t, got, occupied[:50])
+	if _, err := got.Sample(q, rng, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSaveLoadEmptyPruned(t *testing.T) {
+	cfg := testConfig(t, 10000, 100, 0.9, 5)
+	tree, err := BuildPruned(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != 0 {
+		t.Fatalf("empty tree loaded with %d nodes", got.Nodes())
+	}
+	if err := got.Insert(42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTreeRejectsCorrupt(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadTree(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	cfg := testConfig(t, 10000, 100, 0.9, 4)
+	tree, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadTree(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatal("truncated tree accepted")
+	}
+	// Corrupt a node range so the shape validation trips.
+	bad := append([]byte(nil), full...)
+	// The root's lo/hi sit right after the header; overwrite hi with 0.
+	hdrLen := 4 + 1 + len(tree.cfg.HashKind) + 42
+	for i := 0; i < 8; i++ {
+		bad[hdrLen+8+i] = 0
+	}
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt root range accepted")
+	}
+}
+
+func TestBuildTreeParallelEquivalent(t *testing.T) {
+	cfg := testConfig(t, 100000, 500, 0.8, 7)
+	serial, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		parallel, err := BuildTreeParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel.Nodes() != serial.Nodes() {
+			t.Fatalf("workers=%d: %d nodes vs %d serial", workers, parallel.Nodes(), serial.Nodes())
+		}
+		// Identical trees: every query reconstructs identically; compare
+		// via serialization equality, the strongest check.
+		var b1, b2 bytes.Buffer
+		if _, err := serial.WriteTo(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parallel.WriteTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("workers=%d: parallel build differs from serial", workers)
+		}
+	}
+}
+
+func TestBuildTreeParallelDefaultWorkers(t *testing.T) {
+	cfg := testConfig(t, 20000, 100, 0.8, 5)
+	tree, err := BuildTreeParallel(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 63 {
+		t.Fatalf("nodes = %d, want 63", tree.Nodes())
+	}
+}
+
+func TestBuildTreeParallelValidation(t *testing.T) {
+	if _, err := BuildTreeParallel(Config{Namespace: 1, Bits: 10, K: 1}, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	cfg := testConfig(t, 100000, 500, 0.9, 7)
+	tree, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.ComputeStats()
+	if len(s.Levels) != 8 { // depth 7 → levels 0..7
+		t.Fatalf("levels = %d, want 8", len(s.Levels))
+	}
+	if s.Levels[0].Nodes != 1 || s.Levels[7].Nodes != 128 {
+		t.Fatalf("level node counts wrong: %+v", s.Levels)
+	}
+	// Fill must be non-increasing down the tree (each child holds half
+	// the parent's range) and the root saturated for M >> m.
+	if s.Levels[0].MeanFill < 0.99 {
+		t.Fatalf("root fill %.3f, want ~1", s.Levels[0].MeanFill)
+	}
+	for i := 1; i < len(s.Levels); i++ {
+		if s.Levels[i].MeanFill > s.Levels[i-1].MeanFill+1e-9 {
+			t.Fatalf("fill increased at level %d", i)
+		}
+		if s.Levels[i].MinFill > s.Levels[i].MaxFill {
+			t.Fatalf("level %d min > max", i)
+		}
+	}
+	if s.SaturationDepth == 0 || s.SaturationDepth > 8 {
+		t.Fatalf("saturation depth %d", s.SaturationDepth)
+	}
+	if s.Nodes != tree.Nodes() || s.MemoryBytes != tree.MemoryBytes() {
+		t.Fatal("stats totals mismatch")
+	}
+}
+
+func TestComputeStatsEmptyTree(t *testing.T) {
+	cfg := testConfig(t, 10000, 100, 0.9, 5)
+	tree, err := BuildPruned(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.ComputeStats()
+	if len(s.Levels) != 0 || s.Nodes != 0 {
+		t.Fatalf("empty tree stats: %+v", s)
+	}
+}
+
+func TestEstimateSetSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig(t, 100000, 1000, 0.9, 7)
+	tree, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := buildQueryFilter(t, tree, uniformSet(rng, 100000, 1000))
+	est, err := tree.EstimateSetSize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 900 || est > 1100 {
+		t.Fatalf("estimate %.1f, want ~1000", est)
+	}
+	cfg2 := cfg
+	cfg2.Bits++
+	other, err := BuildTree(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.EstimateSetSize(other.NewQueryFilter()); err == nil {
+		t.Fatal("incompatible filter accepted")
+	}
+}

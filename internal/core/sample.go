@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bloom"
+)
+
+// ErrNoSample is returned by Sample when the search exhausts the tree
+// without finding any element answering positively — possible only when
+// the query filter is empty or every branch taken was a false set overlap.
+var ErrNoSample = fmt.Errorf("core: no sample found")
+
+// Sample draws one element approximately uniformly at random from the set
+// stored in the query Bloom filter q, following Algorithm 1 (BSTSample):
+// descend from the root, at each internal node estimating the size of the
+// intersection of each child filter with q (§5.3's Ŝ⁻¹ estimator),
+// pruning children whose estimate falls below the empty threshold (§5.6),
+// choosing among the rest with probability proportional to the estimates,
+// and backtracking to the sibling when a branch turns out to be a false
+// positive path. At a leaf, the whole leaf range is checked by membership
+// queries and a uniform choice among the positives is returned.
+//
+// The returned element is a member of S ∪ S(B) — the stored set plus the
+// filter's false positives — per the problem statement (§1). ops, if
+// non-nil, accumulates operation counts.
+func (t *Tree) Sample(q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, error) {
+	if err := t.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if t.root == nil { // empty pruned tree
+		return 0, ErrNoSample
+	}
+	x, ok := t.sampleNode(t.root, q, rng, ops)
+	if !ok {
+		return 0, ErrNoSample
+	}
+	return x, nil
+}
+
+// sampleNode implements one recursive step of BSTSample.
+func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, bool) {
+	if ops != nil {
+		ops.NodesVisited++
+	}
+	if n.isLeaf() {
+		return t.sampleLeaf(n, q, rng, ops)
+	}
+
+	lEst := t.childEstimate(n.left, q, ops)
+	rEst := t.childEstimate(n.right, q, ops)
+	thr := t.cfg.EmptyThreshold
+	lOK, rOK := lEst >= thr, rEst >= thr
+
+	// Both intersections estimated empty: we arrived here on a false
+	// positive path; report NULL so the caller backtracks (Algorithm 1
+	// lines 17–18).
+	if !lOK && !rOK {
+		return 0, false
+	}
+
+	// Otherwise choose a child with probability proportional to the
+	// estimates and fall back to the sibling on failure — even a
+	// sub-threshold sibling, exactly as Algorithm 1 lines 21–32 do. The
+	// estimator is noisy at leaf scale (§5.6), so a sparse but live
+	// branch can estimate to zero; reaching it through backtracking keeps
+	// its elements sampleable.
+	first, second := n.left, n.right
+	if p := lEst / (lEst + rEst); rng.Float64() >= p {
+		first, second = n.right, n.left
+	}
+	if x, ok := t.sampleNode(first, q, rng, ops); ok {
+		return x, true
+	}
+	if ops != nil {
+		ops.Backtracks++
+	}
+	if second == nil { // pruned tree: missing sibling
+		return 0, false
+	}
+	return t.sampleNode(second, q, rng, ops)
+}
+
+// childEstimate returns the estimated intersection size of a child filter
+// with the query, treating missing (pruned) children as empty.
+func (t *Tree) childEstimate(child *node, q *bloom.Filter, ops *Ops) float64 {
+	if child == nil {
+		return 0
+	}
+	if ops != nil {
+		ops.Intersections++
+	}
+	return bloom.EstimateIntersectionOf(child.f, q)
+}
+
+// sampleLeaf brute-force checks the leaf's range against q and picks one
+// positive uniformly at random (reservoir over the range, so no
+// allocation).
+func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, bool) {
+	if ops != nil {
+		ops.LeavesScanned++
+		ops.Memberships += n.hi - n.lo
+	}
+	var chosen uint64
+	count := 0
+	for x := n.lo; x < n.hi; x++ {
+		if q.Contains(x) {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = x
+			}
+		}
+	}
+	return chosen, count > 0
+}
+
+// positivesInLeaf collects every element of the leaf range answering
+// positively, appending to out.
+func (t *Tree) positivesInLeaf(n *node, q *bloom.Filter, ops *Ops, out []uint64) []uint64 {
+	if ops != nil {
+		ops.LeavesScanned++
+		ops.Memberships += n.hi - n.lo
+	}
+	for x := n.lo; x < n.hi; x++ {
+		if q.Contains(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package core implements the paper's primary contribution: the
+// BloomSampleTree (§5) and its Pruned variant (§5.2, §8), with the
+// BSTSample sampling algorithm (Algorithm 1), single-pass multi-item
+// sampling (§5.3), set reconstruction (§6), empty-intersection
+// thresholding (§5.6), and the cost-model-driven choice of the leaf range
+// M⊥ (§5.4).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bloom"
+	"repro/internal/hashfam"
+)
+
+// DefaultEmptyThreshold is the default estimated-intersection size below
+// which an intersection is treated as empty (§5.6). A single spurious set
+// bit yields a small but non-zero estimate; 0.5 prunes those while keeping
+// any branch estimated to hold at least one element.
+const DefaultEmptyThreshold = 0.5
+
+// Config describes a BloomSampleTree. The Bloom-filter parameters (Bits,
+// K, HashKind, Seed) must match the query Bloom filters the tree will be
+// used with (§5.1).
+type Config struct {
+	// Namespace is the size M of the namespace [0, M).
+	Namespace uint64
+	// Bits is the Bloom-filter size m used at every node.
+	Bits uint64
+	// K is the number of hash functions.
+	K int
+	// HashKind selects the hash family (default Murmur3).
+	HashKind hashfam.Kind
+	// Seed derives the hash functions deterministically.
+	Seed uint64
+	// Depth is the number of times the namespace is halved; leaves cover
+	// ranges of about Namespace/2^Depth elements (M⊥ in the paper). Use
+	// PlanTree to derive it from the cost model of §5.4.
+	Depth int
+	// EmptyThreshold is the estimated-intersection size below which a
+	// branch is pruned (§5.6); 0 means DefaultEmptyThreshold.
+	EmptyThreshold float64
+}
+
+func (c *Config) validate() error {
+	if c.Namespace < 2 {
+		return fmt.Errorf("core: namespace size %d too small", c.Namespace)
+	}
+	if c.Bits < 2 {
+		return fmt.Errorf("core: filter size %d too small", c.Bits)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("core: k = %d, need k >= 1", c.K)
+	}
+	if c.Depth < 0 {
+		return fmt.Errorf("core: depth = %d, need depth >= 0", c.Depth)
+	}
+	if maxDepth := int(math.Ceil(math.Log2(float64(c.Namespace)))); c.Depth > maxDepth {
+		return fmt.Errorf("core: depth %d exceeds log2(M) = %d", c.Depth, maxDepth)
+	}
+	if c.EmptyThreshold < 0 {
+		return fmt.Errorf("core: negative empty threshold %v", c.EmptyThreshold)
+	}
+	return nil
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HashKind == "" {
+		out.HashKind = hashfam.KindMurmur3
+	}
+	if out.EmptyThreshold == 0 {
+		out.EmptyThreshold = DefaultEmptyThreshold
+	}
+	return out
+}
+
+// node is one BloomSampleTree node covering the namespace range [lo, hi).
+// In a pruned tree, children covering unoccupied ranges are nil.
+type node struct {
+	lo, hi      uint64
+	f           *bloom.Filter
+	left, right *node
+}
+
+func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
+
+// Tree is a BloomSampleTree: a complete binary tree over the namespace
+// with a Bloom filter per node, where each node's filter stores the
+// elements of its range (full tree) or the occupied elements of its range
+// (pruned tree). Build once, query many times (§5).
+//
+// Tree is safe for concurrent sampling and reconstruction provided each
+// goroutine uses its own query Filter and rand source (a Filter reuses an
+// internal hash buffer per instance); dynamic Insert must not race with
+// queries.
+type Tree struct {
+	cfg    Config
+	fam    hashfam.Family
+	root   *node
+	pruned bool
+	nodes  uint64 // number of allocated nodes
+}
+
+// Config returns the configuration the tree was built with.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Family returns the hash family shared by all node filters; query filters
+// must be built with the same family (use NewQueryFilter).
+func (t *Tree) Family() hashfam.Family { return t.fam }
+
+// Namespace returns the namespace size M.
+func (t *Tree) Namespace() uint64 { return t.cfg.Namespace }
+
+// Depth returns the number of halvings between the root and the leaves.
+func (t *Tree) Depth() int { return t.cfg.Depth }
+
+// LeafRange returns the maximum number of namespace elements a leaf covers
+// (M⊥ in the paper).
+func (t *Tree) LeafRange() uint64 {
+	r := t.cfg.Namespace
+	for i := 0; i < t.cfg.Depth; i++ {
+		r = (r + 1) / 2
+	}
+	return r
+}
+
+// Pruned reports whether the tree was built in pruned (occupancy-aware)
+// mode.
+func (t *Tree) Pruned() bool { return t.pruned }
+
+// Nodes returns the number of allocated tree nodes. For a full tree this
+// is 2^(Depth+1) − 1; a pruned tree allocates only nodes whose range is
+// occupied.
+func (t *Tree) Nodes() uint64 { return t.nodes }
+
+// MemoryBytes returns the total size of all node Bloom filters in bytes —
+// the quantity reported in the paper's memory tables (Tables 2–3, Fig. 14).
+func (t *Tree) MemoryBytes() uint64 {
+	perNode := (t.cfg.Bits + 63) / 64 * 8
+	return t.nodes * perNode
+}
+
+// NewQueryFilter returns an empty Bloom filter compatible with the tree
+// (same m, k, family and seed), ready to receive a query set.
+func (t *Tree) NewQueryFilter() *bloom.Filter { return bloom.New(t.fam) }
+
+// checkQuery validates that q was built with the tree's parameters.
+func (t *Tree) checkQuery(q *bloom.Filter) error {
+	probe := bloom.New(t.fam)
+	return probe.Compatible(q)
+}
+
+// Ops counts the operations a sampling or reconstruction call performed;
+// these are the metrics of the paper's Figures 3–4 and 8–10. Pass nil to
+// skip counting.
+type Ops struct {
+	// Intersections counts Bloom-filter intersection-size estimations
+	// (one per child filter examined at an internal node).
+	Intersections uint64
+	// Memberships counts membership queries fired at the query filter.
+	Memberships uint64
+	// NodesVisited counts tree nodes entered.
+	NodesVisited uint64
+	// LeavesScanned counts leaves whose whole range was brute-force
+	// checked.
+	LeavesScanned uint64
+	// Backtracks counts the times the search exhausted one child and
+	// re-descended into the sibling (§5.3's false-positive paths).
+	Backtracks uint64
+}
+
+// Add accumulates o2 into o.
+func (o *Ops) Add(o2 Ops) {
+	o.Intersections += o2.Intersections
+	o.Memberships += o2.Memberships
+	o.NodesVisited += o2.NodesVisited
+	o.LeavesScanned += o2.LeavesScanned
+	o.Backtracks += o2.Backtracks
+}
+
+func (o *Ops) String() string {
+	return fmt.Sprintf("intersections=%d memberships=%d nodes=%d leaves=%d backtracks=%d",
+		o.Intersections, o.Memberships, o.NodesVisited, o.LeavesScanned, o.Backtracks)
+}
+
+// split returns the midpoint used to halve [lo, hi).
+func split(lo, hi uint64) uint64 { return lo + (hi-lo+1)/2 }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bloom"
+)
+
+// UniformSampler draws exactly uniform samples from a query Bloom filter
+// through the BloomSampleTree by rejection: the tree descent is used as a
+// proposal distribution whose probability is tracked exactly, and a sample
+// found at a leaf with ℓ positives reached with path probability p is
+// accepted with probability ℓ/(n̂·p·C).
+//
+// Why this exists: BSTSample's leaf-choice probabilities are products of
+// noisy intersection estimates (§5.3), and Proposition 5.2's near-
+// uniformity needs ε(m) = √(2nk·(log m + log log m + log n)/m) → 0 —
+// which does not hold at the paper's own filter sizes (ε ≈ 1 there). The
+// rejection step cancels the proposal entirely: accepted samples are
+// uniform over the filter's positives regardless of estimator noise,
+// because P(x) = p·(1/ℓ)·[ℓ/(n̂·p·C)] = 1/(n̂·C) for every reachable x.
+// An acceptance probability that would exceed 1 (an under-proposed leaf)
+// is never returned: the attempt is discarded and C is doubled, so after
+// a short self-calibration every positive has acceptance probability
+// exactly ℓ/(n̂·p·C) < 1 and the output distribution is exactly uniform.
+// Clamp events are counted in Stats.Clamped.
+//
+// The proposal mixes the intersection estimate with a uniform-over-
+// namespace component (child weight = ê + β·n̂·rangeFraction), so every
+// leaf keeps a path probability within a small factor of its ideal share
+// even where the estimator is pure noise, and the tracked probability is
+// exact; there is no backtracking — a failed leaf is a rejection, and the
+// sampler retries from the root.
+type UniformSampler struct {
+	t    *Tree
+	q    *bloom.Filter
+	nHat float64
+	// SafetyFactor is C in the acceptance rule; larger values reduce
+	// clamping (better uniformity in the extreme tails) but cost
+	// proportionally more attempts. Default 8.
+	SafetyFactor float64
+	// UniformMix is β, the weight of the uniform-over-namespace component
+	// in the proposal. 0 descends purely by estimates (fast but heavy
+	// clamping on sparse leaves); 1 gives an even mixture. Default 1.
+	UniformMix float64
+	// MaxAttempts bounds the rejection loop. Default 512.
+	MaxAttempts int
+	stats       UniformStats
+}
+
+// UniformStats reports the sampler's rejection behaviour.
+type UniformStats struct {
+	// Attempts is the total number of root-to-leaf descents.
+	Attempts uint64
+	// Accepted is the number of samples returned.
+	Accepted uint64
+	// Clamped counts acceptances whose probability was capped at 1
+	// (slight local over-sampling; raise SafetyFactor to eliminate).
+	Clamped uint64
+}
+
+// NewUniformSampler prepares a uniform sampler for one query filter. The
+// filter's estimated cardinality is computed once and reused; rebuild the
+// sampler if the filter changes.
+func (t *Tree) NewUniformSampler(q *bloom.Filter) (*UniformSampler, error) {
+	if err := t.checkQuery(q); err != nil {
+		return nil, err
+	}
+	nHat := q.EstimateCardinality()
+	if math.IsInf(nHat, 1) || nHat > float64(t.cfg.Namespace) {
+		nHat = float64(t.cfg.Namespace)
+	}
+	if nHat < 1 {
+		nHat = 1
+	}
+	// For sets much smaller than the leaf count the proposal cannot know
+	// which near-empty leaf hides two elements instead of one, so the
+	// acceptance headroom must scale with leaves/n̂; clamp-doubling
+	// handles whatever this initial guess still misses.
+	leaves := float64(uint64(1) << t.cfg.Depth)
+	c := 8.0
+	if scaled := 4 * leaves / nHat; scaled > c {
+		c = scaled
+	}
+	return &UniformSampler{
+		t:            t,
+		q:            q,
+		nHat:         nHat,
+		SafetyFactor: c,
+		UniformMix:   2,
+		MaxAttempts:  int(64 * c),
+	}, nil
+}
+
+// Stats returns cumulative rejection statistics.
+func (s *UniformSampler) Stats() UniformStats { return s.stats }
+
+// Sample returns one uniform sample from the set stored in the query
+// filter (including its false positives). It returns ErrNoSample when the
+// rejection loop exhausts MaxAttempts — in practice only for (nearly)
+// empty query filters.
+func (s *UniformSampler) Sample(rng *rand.Rand, ops *Ops) (uint64, error) {
+	if s.t.root == nil {
+		return 0, ErrNoSample
+	}
+	for attempt := 0; attempt < s.MaxAttempts; attempt++ {
+		s.stats.Attempts++
+		x, ok := s.descend(rng, ops)
+		if ok {
+			s.stats.Accepted++
+			return x, nil
+		}
+	}
+	return 0, ErrNoSample
+}
+
+// SampleN draws r uniform samples (with replacement) by repeated Sample.
+func (s *UniformSampler) SampleN(r int, rng *rand.Rand, ops *Ops) ([]uint64, error) {
+	out := make([]uint64, 0, r)
+	for i := 0; i < r; i++ {
+		x, err := s.Sample(rng, ops)
+		if err == ErrNoSample {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// descend performs one proposal walk and the acceptance test.
+func (s *UniformSampler) descend(rng *rand.Rand, ops *Ops) (uint64, bool) {
+	n := s.t.root
+	pathProb := 1.0
+	for !n.isLeaf() {
+		if ops != nil {
+			ops.NodesVisited++
+		}
+		wl := s.childWeight(n.left, ops)
+		wr := s.childWeight(n.right, ops)
+		if wl == 0 && wr == 0 {
+			return 0, false // pruned-tree dead end (both children missing)
+		}
+		pl := wl / (wl + wr)
+		if rng.Float64() < pl {
+			n, pathProb = n.left, pathProb*pl
+		} else {
+			n, pathProb = n.right, pathProb*(1-pl)
+		}
+	}
+	if ops != nil {
+		ops.NodesVisited++
+	}
+
+	// Reservoir over the leaf's positives, counting them exactly.
+	var chosen uint64
+	count := 0
+	if ops != nil {
+		ops.LeavesScanned++
+		ops.Memberships += n.hi - n.lo
+	}
+	for x := n.lo; x < n.hi; x++ {
+		if s.q.Contains(x) {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = x
+			}
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	alpha := float64(count) / (s.nHat * pathProb * s.SafetyFactor)
+	if alpha >= 1 {
+		// Under-proposed leaf: returning now would bias the output, so
+		// discard the attempt and widen the headroom for all future
+		// acceptances (self-calibration; exact once clamps stop).
+		s.stats.Clamped++
+		s.SafetyFactor *= 2
+		s.MaxAttempts *= 2
+		return 0, false
+	}
+	return chosen, rng.Float64() < alpha
+}
+
+// childWeight is the proposal weight of a child: the estimated
+// intersection size plus the uniform-mixture share β·n̂·(range/M), or 0
+// for a missing child.
+func (s *UniformSampler) childWeight(child *node, ops *Ops) float64 {
+	if child == nil {
+		return 0
+	}
+	if ops != nil {
+		ops.Intersections++
+	}
+	m := child.f.M()
+	k := child.f.K()
+	t1 := child.f.SetBits()
+	t2 := s.q.SetBits()
+	tand := child.f.IntersectionSetBits(s.q)
+	est := bloom.EstimateIntersection(m, k, t1, t2, tand)
+	if est < 0 || math.IsNaN(est) {
+		est = 0
+	}
+	if math.IsInf(est, 1) || est > s.nHat {
+		est = s.nHat
+	}
+	// Shrink the estimate by one standard deviation of its chance-level
+	// noise: the AND bit count fluctuates by ~√(t1·t2/m) even for
+	// disjoint sets, and at mid-tree levels that noise (converted to
+	// elements) exceeds the true count. Without shrinkage the proposal
+	// chases noise and the acceptance probabilities spread over orders of
+	// magnitude (heavy clamping).
+	if est > 0 && est < s.nHat {
+		sigmaBits := 1.5 * math.Sqrt(float64(t1)*float64(t2)/float64(m))
+		lo := tand - uint64(sigmaBits)
+		if sigmaBits >= float64(tand) {
+			lo = 0
+		}
+		estLo := bloom.EstimateIntersection(m, k, t1, t2, lo)
+		if math.IsNaN(estLo) || math.IsInf(estLo, 0) || estLo < 0 {
+			estLo = 0
+		}
+		est = estLo
+	}
+	frac := float64(child.hi-child.lo) / float64(s.t.cfg.Namespace)
+	return est + s.UniformMix*s.nHat*frac
+}
+
+// String summarizes the sampler's configuration and statistics.
+func (s *UniformSampler) String() string {
+	return fmt.Sprintf("UniformSampler(n̂=%.1f C=%.1f β=%.2f attempts=%d accepted=%d clamped=%d)",
+		s.nHat, s.SafetyFactor, s.UniformMix, s.stats.Attempts, s.stats.Accepted, s.stats.Clamped)
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment fast enough for the unit-test suite.
+func tinyConfig() Config {
+	c := SmallConfig()
+	c.Rounds = 50
+	c.BaselineRounds = 1
+	c.Accuracies = []float64{0.7, 0.9}
+	c.SetSizes = []int{100, 500}
+	c.Namespaces = []uint64{20_000}
+	c.Fractions = []float64{0.2, 0.6}
+	c.TwitterScale = 4000
+	c.ChiSqRoundsFactor = 20
+	return c
+}
+
+func TestTableAddAndRender(t *testing.T) {
+	tbl := &Table{ID: "t", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.Add("1", "2")
+	tbl.Add("333", "4")
+	var text, csv bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "demo") || !strings.Contains(text.String(), "333") {
+		t.Fatalf("text output wrong:\n%s", text.String())
+	}
+	if got := csv.String(); got != "a,b\n1,2\n333,4\n" {
+		t.Fatalf("csv output wrong: %q", got)
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tbl := &Table{ID: "t", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong arity")
+		}
+	}()
+	tbl.Add("only-one")
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	reg := Registry()
+	for _, id := range ExperimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %s listed but not registered", id)
+		}
+	}
+	// Every evaluation figure (3–15) and table (2–6) must be present.
+	for fig := 3; fig <= 15; fig++ {
+		if _, ok := reg["fig"+strconv.Itoa(fig)]; !ok {
+			t.Errorf("missing runner for figure %d", fig)
+		}
+	}
+	for tab := 2; tab <= 6; tab++ {
+		if _, ok := reg["tab"+strconv.Itoa(tab)]; !ok {
+			t.Errorf("missing runner for table %d", tab)
+		}
+	}
+}
+
+// Every registered experiment must run to completion at tiny scale and
+// produce at least one non-empty table.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Registry()[id](cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %s has no rows", id, tbl.ID)
+				}
+				if len(tbl.Columns) == 0 {
+					t.Errorf("%s: table %s has no columns", id, tbl.ID)
+				}
+				var buf bytes.Buffer
+				if err := tbl.WriteText(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestSamplingOpsShape(t *testing.T) {
+	// The defining shape of Figures 3–4: BST memberships far below DA's M.
+	cfg := tinyConfig()
+	tables, err := RunSamplingOps(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	M := float64(cfg.Namespaces[0])
+	var bstRows int
+	for _, row := range tbl.Rows {
+		if row[0] != "BST" {
+			continue
+		}
+		bstRows++
+		mem, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mem >= M/2 {
+			t.Errorf("BST memberships %v not far below M=%v (row %v)", mem, M, row)
+		}
+	}
+	if bstRows == 0 {
+		t.Fatal("no BST rows")
+	}
+}
+
+func TestMeasuredAccuracyTracksDesign(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Rounds = 400
+	for _, acc := range []float64{0.7, 0.9} {
+		got, err := MeasureAccuracy(cfg, acc, 500, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Generous tolerance at tiny scale; the sign of the effect (higher
+		// design accuracy → higher measured) is checked below.
+		if got < acc-0.25 {
+			t.Errorf("acc %.1f: measured %.3f too low", acc, got)
+		}
+	}
+	lo, err := MeasureAccuracy(cfg, 0.55, 500, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MeasureAccuracy(cfg, 0.95, 500, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo-0.05 {
+		t.Errorf("measured accuracy not increasing: %.3f (0.55) vs %.3f (0.95)", lo, hi)
+	}
+}
+
+func TestLowOccupancyMemoryShrinksWithFraction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Fractions = []float64{0.1, 0.9}
+	tables, err := RunLowOccupancy(cfg, "memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem01, mem09 float64
+	for _, row := range tables[0].Rows {
+		if row[1] != "uniform" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "0.10":
+			mem01 = v
+		case "0.90":
+			mem09 = v
+		}
+	}
+	if mem01 <= 0 || mem09 <= 0 {
+		t.Fatalf("missing rows: %v", tables[0].Rows)
+	}
+	if mem01 >= mem09 {
+		t.Errorf("memory at fraction 0.1 (%.3f MB) not below fraction 0.9 (%.3f MB)", mem01, mem09)
+	}
+}
+
+func TestLowOccupancyUnknownMetric(t *testing.T) {
+	if _, err := RunLowOccupancy(tinyConfig(), "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestPaperConfigDimensions(t *testing.T) {
+	c := PaperConfig()
+	if c.Rounds != 10000 || c.ChiSqRoundsFactor != 130 || c.TwitterScale != 1 {
+		t.Fatalf("paper config drifted: %+v", c)
+	}
+	if len(c.Accuracies) != 6 || len(c.SetSizes) != 4 || len(c.Namespaces) != 3 {
+		t.Fatalf("paper sweeps drifted: %+v", c)
+	}
+}
+
+func TestNamespaceSelectors(t *testing.T) {
+	c := Config{Namespaces: []uint64{5, 1, 9}}
+	if smallestNamespace(c) != 1 || largestNamespace(c) != 9 || middleNamespace(c) != 5 {
+		t.Fatal("selectors wrong")
+	}
+	single := Config{Namespaces: []uint64{7}}
+	if smallestNamespace(single) != 7 || largestNamespace(single) != 7 || middleNamespace(single) != 7 {
+		t.Fatal("single-namespace selectors wrong")
+	}
+}

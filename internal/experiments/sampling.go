@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hashfam"
+)
+
+// RunSamplingOps reproduces Figures 3 (uniform query sets) and 4
+// (clustered): the average number of Bloom-filter intersections and set
+// membership queries per sampling round, for the BloomSampleTree at each
+// accuracy and query-set size, against the DictionaryAttack's constant M
+// memberships. One table per namespace size, as in the paper's subfigures.
+func RunSamplingOps(cfg Config, clustered bool) ([]*Table, error) {
+	kind := "uniform"
+	fig := "fig3"
+	if clustered {
+		kind, fig = "clustered", "fig4"
+	}
+	var tables []*Table
+	for _, M := range cfg.Namespaces {
+		tbl := &Table{
+			ID:      fmt.Sprintf("%s-M%d", fig, M),
+			Title:   fmt.Sprintf("Sampling ops, %s query sets, M=%d", kind, M),
+			Columns: []string{"method", "n", "accuracy", "intersections/sample", "memberships/sample"},
+		}
+		for _, n := range cfg.SetSizes {
+			if uint64(n) >= M {
+				continue
+			}
+			rng := cfg.rng(uint64(n) ^ M)
+			set, err := cfg.querySet(rng, M, n, clustered)
+			if err != nil {
+				return nil, err
+			}
+			for _, acc := range cfg.Accuracies {
+				tree, _, err := cfg.buildTreeFor(acc, n, M)
+				if err != nil {
+					return nil, err
+				}
+				q := queryFilterOf(tree, set)
+				var ops core.Ops
+				for i := 0; i < cfg.Rounds; i++ {
+					if _, err := tree.Sample(q, rng, &ops); err != nil && err != core.ErrNoSample {
+						return nil, err
+					}
+				}
+				r := float64(cfg.Rounds)
+				tbl.Add("BST", fmt.Sprint(n), fmt.Sprintf("%.1f", acc),
+					fmt.Sprintf("%.1f", float64(ops.Intersections)/r),
+					fmt.Sprintf("%.1f", float64(ops.Memberships)/r))
+			}
+		}
+		// DictionaryAttack: always exactly M membership queries, no
+		// intersections, independent of accuracy and n.
+		tbl.Add("DA", "-", "-", "0", fmt.Sprint(M))
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// RunSamplingTime reproduces Figures 5 (M = 10⁷) and 6 (M = 10⁶): average
+// wall-clock time per sample for BST and DictionaryAttack over uniform and
+// clustered query sets.
+func RunSamplingTime(cfg Config, M uint64) ([]*Table, error) {
+	var tables []*Table
+	for _, clustered := range []bool{false, true} {
+		kind := "uniform"
+		if clustered {
+			kind = "clustered"
+		}
+		tbl := &Table{
+			ID:      fmt.Sprintf("sampling-time-M%d-%s", M, kind),
+			Title:   fmt.Sprintf("Avg. sampling time, %s query sets, M=%d", kind, M),
+			Columns: []string{"method", "n", "accuracy", "time_ms/sample"},
+		}
+		da := baseline.DictionaryAttack{Namespace: M}
+		for _, n := range cfg.SetSizes {
+			if uint64(n) >= M {
+				continue
+			}
+			rng := cfg.rng(uint64(n) ^ M ^ 0xF15)
+			set, err := cfg.querySet(rng, M, n, clustered)
+			if err != nil {
+				return nil, err
+			}
+			for _, acc := range cfg.Accuracies {
+				tree, _, err := cfg.buildTreeFor(acc, n, M)
+				if err != nil {
+					return nil, err
+				}
+				q := queryFilterOf(tree, set)
+
+				start := time.Now()
+				for i := 0; i < cfg.Rounds; i++ {
+					if _, err := tree.Sample(q, rng, nil); err != nil && err != core.ErrNoSample {
+						return nil, err
+					}
+				}
+				bstMS := float64(time.Since(start).Microseconds()) / 1000 / float64(cfg.Rounds)
+				tbl.Add("BST", fmt.Sprint(n), fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.4f", bstMS))
+
+				if acc == cfg.Accuracies[0] && cfg.BaselineRounds > 0 {
+					// DA cost does not depend on accuracy; measure once
+					// per n.
+					start = time.Now()
+					for i := 0; i < cfg.BaselineRounds; i++ {
+						da.Sample(q, rng, nil)
+					}
+					daMS := float64(time.Since(start).Microseconds()) / 1000 / float64(cfg.BaselineRounds)
+					tbl.Add("DA", fmt.Sprint(n), "-", fmt.Sprintf("%.4f", daMS))
+				}
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// RunHashFamilies reproduces Figure 7: the effect of the hash-function
+// family (Simple, Murmur3, MD5) on BST and DictionaryAttack sampling time,
+// on the smallest configured namespace with uniform query sets.
+func RunHashFamilies(cfg Config) ([]*Table, error) {
+	M := smallestNamespace(cfg)
+	n := cfg.SetSizes[0]
+	for _, s := range cfg.SetSizes {
+		if s == 1000 { // the paper's default query-set size
+			n = s
+		}
+	}
+	tbl := &Table{
+		ID:      fmt.Sprintf("fig7-M%d", M),
+		Title:   fmt.Sprintf("Hash-family effect on sampling time, M=%d, n=%d", M, n),
+		Columns: []string{"family", "method", "accuracy", "time_ms/sample"},
+	}
+	families := []hashfam.Kind{hashfam.KindSimple, hashfam.KindMurmur3, hashfam.KindMD5}
+	for _, fam := range families {
+		famCfg := cfg
+		famCfg.HashKind = fam
+		rng := cfg.rng(uint64(len(fam)) ^ M)
+		set, err := cfg.querySet(rng, M, n, false)
+		if err != nil {
+			return nil, err
+		}
+		da := baseline.DictionaryAttack{Namespace: M}
+		for _, acc := range cfg.Accuracies {
+			tree, _, err := famCfg.buildTreeFor(acc, n, M)
+			if err != nil {
+				return nil, err
+			}
+			q := queryFilterOf(tree, set)
+
+			start := time.Now()
+			for i := 0; i < cfg.Rounds; i++ {
+				if _, err := tree.Sample(q, rng, nil); err != nil && err != core.ErrNoSample {
+					return nil, err
+				}
+			}
+			bstMS := float64(time.Since(start).Microseconds()) / 1000 / float64(cfg.Rounds)
+			tbl.Add(string(fam), "BST", fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.4f", bstMS))
+
+			if acc == cfg.Accuracies[0] && cfg.BaselineRounds > 0 {
+				start = time.Now()
+				for i := 0; i < cfg.BaselineRounds; i++ {
+					da.Sample(q, rng, nil)
+				}
+				daMS := float64(time.Since(start).Microseconds()) / 1000 / float64(cfg.BaselineRounds)
+				tbl.Add(string(fam), "DA", "-", fmt.Sprintf("%.4f", daMS))
+			}
+		}
+	}
+	return []*Table{tbl}, nil
+}

@@ -1,0 +1,42 @@
+package hashfam
+
+// fnvFamily derives k positions from two FNV-1a 64-bit hashes of the
+// element (the second over a seed-perturbed input) combined with double
+// hashing. It is the fastest family here and is not part of the paper's
+// evaluation; it is provided as an extra option for downstream users.
+type fnvFamily struct {
+	m    uint64
+	k    int
+	seed uint64
+}
+
+func newFNV(m uint64, k int, seed uint64) *fnvFamily {
+	return &fnvFamily{m: m, k: k, seed: seed}
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// fnv1a64 hashes the 8 bytes of x (little-endian) with FNV-1a.
+func fnv1a64(x uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func (f *fnvFamily) Kind() Kind   { return KindFNV }
+func (f *fnvFamily) K() int       { return f.k }
+func (f *fnvFamily) M() uint64    { return f.m }
+func (f *fnvFamily) Seed() uint64 { return f.seed }
+
+func (f *fnvFamily) Positions(x uint64, out []uint64) []uint64 {
+	h1 := fnv1a64(x ^ f.seed)
+	h2 := fnv1a64(x ^ splitmix64(f.seed))
+	return doublePositions(h1, h2, f.m, f.k, out)
+}

@@ -1,0 +1,119 @@
+// Package hashfam implements the families of Bloom-filter hash functions
+// the paper evaluates (§7.1): the "Simple" affine family (a·x+b) mod m,
+// which is weakly invertible; MurmurHash3 (implemented from scratch, x64
+// 128-bit variant); and MD5 (via crypto/md5). An FNV-1a family is included
+// as an extra fast option.
+//
+// A Family maps a namespace element x (a uint64) to k positions in
+// [0, m). Families are deterministic given (kind, m, k, seed), so that a
+// BloomSampleTree and the query Bloom filters it serves can be built with
+// identical hash functions, as the paper requires (§5.1).
+package hashfam
+
+import (
+	"fmt"
+)
+
+// Kind identifies a hash-function family.
+type Kind string
+
+// Supported family kinds.
+const (
+	KindSimple  Kind = "simple"  // (a·x + b) mod m, weakly invertible
+	KindMurmur3 Kind = "murmur3" // MurmurHash3 x64_128 + double hashing
+	KindMD5     Kind = "md5"     // crypto/md5 + double hashing
+	KindFNV     Kind = "fnv"     // FNV-1a 64 + double hashing
+)
+
+// Kinds lists every supported family kind.
+func Kinds() []Kind { return []Kind{KindSimple, KindMurmur3, KindMD5, KindFNV} }
+
+// Family is a set of k hash functions h_1..h_k, each mapping namespace
+// elements to bit positions in [0, m).
+type Family interface {
+	// Kind returns the family identifier.
+	Kind() Kind
+	// K returns the number of hash functions.
+	K() int
+	// M returns the range of each function (the Bloom filter size in bits).
+	M() uint64
+	// Seed returns the seed the family was derived from.
+	Seed() uint64
+	// Positions appends the k positions h_1(x)..h_k(x) to out and returns
+	// the extended slice. Positions(x, nil) allocates.
+	Positions(x uint64, out []uint64) []uint64
+}
+
+// Invertible is implemented by families whose functions are weakly
+// invertible in the paper's sense (§4): given a position p and an index i,
+// the set {y : h_i(y) = p} can be enumerated efficiently.
+type Invertible interface {
+	Family
+	// Preimages appends, in ascending order, every y in [lo, hi) with
+	// h_i(y) = pos, and returns the extended slice. i is zero-based and
+	// must be < K().
+	Preimages(i int, pos uint64, lo, hi uint64, out []uint64) []uint64
+}
+
+// New constructs a family of k functions with range m, deterministically
+// derived from seed. It returns an error for unknown kinds or degenerate
+// parameters.
+func New(kind Kind, m uint64, k int, seed uint64) (Family, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("hashfam: m = %d, need m >= 2", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hashfam: k = %d, need k >= 1", k)
+	}
+	switch kind {
+	case KindSimple:
+		return newSimple(m, k, seed), nil
+	case KindMurmur3:
+		return newMurmur3(m, k, seed), nil
+	case KindMD5:
+		return newMD5(m, k, seed), nil
+	case KindFNV:
+		return newFNV(m, k, seed), nil
+	default:
+		return nil, fmt.Errorf("hashfam: unknown kind %q", kind)
+	}
+}
+
+// MustNew is New but panics on error; for use with known-good parameters.
+func MustNew(kind Kind, m uint64, k int, seed uint64) Family {
+	f, err := New(kind, m, k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// splitmix64 is a fast, well-distributed PRNG step used for deterministic
+// parameter derivation from seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// doublePositions fills k positions using Kirsch–Mitzenmacher double
+// hashing: pos_i = (h1 + i·h2) mod m, with h2 forced odd so that the probe
+// sequence cycles through many residues even for composite m.
+func doublePositions(h1, h2, m uint64, k int, out []uint64) []uint64 {
+	h2 |= 1
+	h1 %= m
+	h2 %= m
+	if h2 == 0 {
+		h2 = 1
+	}
+	pos := h1
+	for i := 0; i < k; i++ {
+		out = append(out, pos)
+		pos += h2
+		if pos >= m {
+			pos -= m
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package hashfam
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+)
+
+// md5Family derives k positions from the MD5 digest of the element's
+// 8-byte little-endian encoding concatenated with the seed, using double
+// hashing over the first two 64-bit words of the digest. MD5 is the
+// deliberately expensive family in the paper's Figure 7 comparison; its
+// cryptographic weakness is irrelevant here — it is used purely as a
+// (slow, well-mixed) hash.
+type md5Family struct {
+	m    uint64
+	k    int
+	seed uint64
+}
+
+func newMD5(m uint64, k int, seed uint64) *md5Family {
+	return &md5Family{m: m, k: k, seed: seed}
+}
+
+func (f *md5Family) Kind() Kind   { return KindMD5 }
+func (f *md5Family) K() int       { return f.k }
+func (f *md5Family) M() uint64    { return f.m }
+func (f *md5Family) Seed() uint64 { return f.seed }
+
+func (f *md5Family) Positions(x uint64, out []uint64) []uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], x)
+	binary.LittleEndian.PutUint64(buf[8:], f.seed)
+	sum := md5.Sum(buf[:])
+	h1 := binary.LittleEndian.Uint64(sum[:8])
+	h2 := binary.LittleEndian.Uint64(sum[8:])
+	return doublePositions(h1, h2, f.m, f.k, out)
+}

@@ -1,0 +1,47 @@
+package hashfam
+
+import "math/bits"
+
+// mulMod returns (a * b) mod m using 128-bit intermediate arithmetic, so it
+// is exact for any uint64 operands. bits.Rem64 requires hi < m, which holds
+// because hi <= (m-1)^2 / 2^64 < m after reducing the operands mod m.
+func mulMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	hi, lo := bits.Mul64(a, b)
+	if hi == 0 {
+		return lo % m
+	}
+	return bits.Rem64(hi, lo, m)
+}
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modInverse returns x with (a*x) mod m == 1 and whether it exists
+// (i.e. gcd(a, m) == 1). It uses the extended Euclidean algorithm on
+// signed 128-bit-safe arithmetic via int64 coefficient tracking; a and m
+// must be < 2^63 for the coefficient arithmetic to stay in range, which
+// holds for all Bloom-filter sizes used here.
+func modInverse(a, m uint64) (uint64, bool) {
+	if m == 0 || gcd(a%m, m) != 1 {
+		return 0, false
+	}
+	// Extended Euclid with coefficients on a only.
+	var t, newT int64 = 0, 1
+	var r, newR = int64(m), int64(a % m)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if t < 0 {
+		t += int64(m)
+	}
+	return uint64(t), true
+}

@@ -1,0 +1,147 @@
+package hashfam
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Sum128 computes MurmurHash3 x64_128 of data with the given seed,
+// returning the two 64-bit halves of the digest. The implementation follows
+// Austin Appleby's reference (MurmurHash3.cpp, public domain) and is
+// verified against its published test vectors.
+func Sum128(data []byte, seed uint32) (uint64, uint64) {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	nblocks := n / 16
+	for i := 0; i < nblocks; i++ {
+		k1 := binary.LittleEndian.Uint64(data[i*16:])
+		k2 := binary.LittleEndian.Uint64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// murmur3Family derives k Bloom-filter positions from the two 64-bit halves
+// of the MurmurHash3 x64_128 digest of the element's 8-byte little-endian
+// encoding, combined with double hashing.
+type murmur3Family struct {
+	m    uint64
+	k    int
+	seed uint64
+}
+
+func newMurmur3(m uint64, k int, seed uint64) *murmur3Family {
+	return &murmur3Family{m: m, k: k, seed: seed}
+}
+
+func (f *murmur3Family) Kind() Kind   { return KindMurmur3 }
+func (f *murmur3Family) K() int       { return f.k }
+func (f *murmur3Family) M() uint64    { return f.m }
+func (f *murmur3Family) Seed() uint64 { return f.seed }
+
+func (f *murmur3Family) Positions(x uint64, out []uint64) []uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	h1, h2 := Sum128(buf[:], uint32(f.seed))
+	return doublePositions(h1, h2, f.m, f.k, out)
+}

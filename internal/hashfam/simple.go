@@ -1,0 +1,134 @@
+package hashfam
+
+// simpleFamily is the paper's "Simple" family: h_i(x) = (a_i·x + b_i) mod c_i
+// with a_i coprime to c_i. It is weakly invertible (§4): given a position
+// p, the preimages under h_i form the arithmetic progression
+// x ≡ a_i⁻¹·(p − b_i) (mod c_i), so enumerating {y ∈ [lo,hi) : h_i(y)=p}
+// costs O((hi−lo)/c_i) — this is the inversion HashInvert exploits.
+//
+// Each function uses its own modulus c_i: the k largest distinct primes
+// not exceeding the filter size m. With a single shared modulus, any two
+// elements congruent mod m would collide on every function at once, giving
+// the filter an irreducible false-positive floor of about n/m — orders of
+// magnitude above the (1−e^{−kn/m})^k design rate. Distinct prime moduli
+// push the simultaneous-collision condition to x ≡ y mod (c_1·…·c_k),
+// which never happens within a realistic namespace. The few bit positions
+// in [c_i, m) are simply never used by function i; for primes within a few
+// hundred of m the capacity loss is negligible.
+type simpleFamily struct {
+	m    uint64
+	k    int
+	seed uint64
+	c    []uint64 // per-function prime moduli, <= m
+	a    []uint64 // multipliers in [1, c_i), automatically coprime
+	ainv []uint64 // modular inverses of a mod c_i
+	b    []uint64 // offsets in [0, c_i)
+}
+
+func newSimple(m uint64, k int, seed uint64) *simpleFamily {
+	f := &simpleFamily{m: m, k: k, seed: seed}
+	f.c = primesBelow(m, k)
+	s := splitmix64(seed ^ 0x5157_11a5_0b10_0f17)
+	for i := 0; i < k; i++ {
+		ci := f.c[i]
+		s = splitmix64(s)
+		a := s%(ci-1) + 1 // in [1, c_i); c_i prime, so gcd(a, c_i) = 1
+		inv, ok := modInverse(a, ci)
+		if !ok {
+			panic("hashfam: prime modulus produced non-invertible multiplier") // unreachable
+		}
+		s = splitmix64(s)
+		b := s % ci
+		f.a = append(f.a, a)
+		f.ainv = append(f.ainv, inv)
+		f.b = append(f.b, b)
+	}
+	return f
+}
+
+// primesBelow returns the k largest distinct primes <= n, falling back to
+// small-m degenerate cases by reusing the largest prime(s) available above
+// 2 (for m < 5 a Bloom filter is degenerate anyway).
+func primesBelow(n uint64, k int) []uint64 {
+	out := make([]uint64, 0, k)
+	for p := n; p >= 2 && len(out) < k; p-- {
+		if isPrime(p) {
+			out = append(out, p)
+		}
+	}
+	for len(out) < k { // tiny m: reuse the smallest found (or 2)
+		if len(out) == 0 {
+			out = append(out, 2)
+		} else {
+			out = append(out, out[len(out)-1])
+		}
+	}
+	return out
+}
+
+// isPrime is deterministic trial division; moduli are filter sizes
+// (< 2^32 in practice), so this is at most ~65k iterations, done once per
+// family construction.
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := uint64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *simpleFamily) Kind() Kind   { return KindSimple }
+func (f *simpleFamily) K() int       { return f.k }
+func (f *simpleFamily) M() uint64    { return f.m }
+func (f *simpleFamily) Seed() uint64 { return f.seed }
+
+func (f *simpleFamily) Positions(x uint64, out []uint64) []uint64 {
+	for i := 0; i < f.k; i++ {
+		p := mulMod(f.a[i], x, f.c[i]) + f.b[i]
+		if p >= f.c[i] {
+			p -= f.c[i]
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Preimages appends all y in [lo, hi) with h_i(y) = pos, in ascending
+// order. Because a_i is invertible mod c_i, the solutions are exactly
+// x0 + t·c_i for integer t, where x0 = a_i⁻¹·(pos − b_i) mod c_i.
+// Positions >= c_i have no preimages under function i.
+func (f *simpleFamily) Preimages(i int, pos uint64, lo, hi uint64, out []uint64) []uint64 {
+	if i < 0 || i >= f.k || lo >= hi {
+		return out
+	}
+	ci := f.c[i]
+	if pos >= ci {
+		return out
+	}
+	diff := pos + ci - f.b[i] // pos - b_i, kept non-negative
+	if diff >= ci {
+		diff -= ci
+	}
+	x0 := mulMod(f.ainv[i], diff, ci)
+	// First solution >= lo.
+	var first uint64
+	if x0 >= lo {
+		first = x0
+	} else {
+		t := (lo - x0 + ci - 1) / ci
+		first = x0 + t*ci
+	}
+	for y := first; y < hi; y += ci {
+		out = append(out, y)
+	}
+	return out
+}
+
+var _ Invertible = (*simpleFamily)(nil)

@@ -1,0 +1,131 @@
+package setdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+)
+
+// Dynamic sets: the paper's motivating applications track communities
+// whose membership changes over time (§1). A plain Bloom filter cannot
+// forget a member, so DB also supports counting-filter-backed sets: ids
+// can be removed, and queries run against a point-in-time snapshot
+// projected onto a plain filter compatible with the shared tree.
+//
+// Dynamic sets live in a separate key space from plain sets (a key is
+// either plain or dynamic; mixing is an error) and cost 8× the filter
+// memory.
+
+// AddDynamic inserts ids into the dynamic (deletable) set under key,
+// creating it on first use.
+func (db *DB) AddDynamic(key string, ids ...uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, clash := db.sets[key]; clash {
+		return fmt.Errorf("setdb: %q already exists as a plain set", key)
+	}
+	for _, id := range ids {
+		if id >= db.opts.Namespace {
+			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
+		}
+	}
+	if db.dynamic == nil {
+		db.dynamic = map[string]*bloom.CountingFilter{}
+	}
+	c, ok := db.dynamic[key]
+	if !ok {
+		c = bloom.NewCounting(db.fam)
+		db.dynamic[key] = c
+	}
+	for _, id := range ids {
+		c.Add(id)
+		if db.opts.Pruned {
+			if err := db.tree.Insert(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveDynamic removes one insertion of each id from the dynamic set
+// under key. Removing an id that is not currently a member is an error
+// and leaves the set unchanged. (The shared pruned tree retains the id's
+// range — tree occupancy is monotone — which affects only performance,
+// not correctness.)
+func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.dynamic[key]
+	if !ok {
+		return fmt.Errorf("setdb: no dynamic set %q", key)
+	}
+	for _, id := range ids {
+		if err := c.Remove(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContainsDynamic reports membership in the dynamic set under key.
+func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.dynamic[key]
+	if !ok {
+		return false, fmt.Errorf("setdb: no dynamic set %q", key)
+	}
+	return c.Contains(id), nil
+}
+
+// SnapshotDynamic returns a point-in-time plain filter of the dynamic
+// set, compatible with the shared tree (and with every plain set).
+func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.dynamic[key]
+	if !ok {
+		return nil, fmt.Errorf("setdb: no dynamic set %q", key)
+	}
+	return c.Snapshot(), nil
+}
+
+// SampleDynamic draws one element from the current state of the dynamic
+// set under key.
+func (db *DB) SampleDynamic(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
+	snap, err := db.SnapshotDynamic(key)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Sample(snap, rng, ops)
+}
+
+// ReconstructDynamic reconstructs the current state of the dynamic set
+// under key.
+func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops) ([]uint64, error) {
+	snap, err := db.SnapshotDynamic(key)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Reconstruct(snap, rule, ops)
+}
+
+// DynamicKeys returns the dynamic set keys in sorted order.
+func (db *DB) DynamicKeys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.dynamic))
+	for k := range db.dynamic {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,183 @@
+package setdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDynamicAddRemoveSample(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := db.AddDynamic("community", 10, 20, 30, 40); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := db.ContainsDynamic("community", 20)
+	if err != nil || !ok {
+		t.Fatalf("ContainsDynamic = %v, %v", ok, err)
+	}
+	x, err := db.SampleDynamic("community", rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.SnapshotDynamic("community")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Contains(x) {
+		t.Fatalf("sample %d not in snapshot", x)
+	}
+
+	// A member leaves the community.
+	if err := db.RemoveDynamic("community", 20); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = db.ContainsDynamic("community", 20)
+	if ok {
+		t.Fatal("removed member still present")
+	}
+	recon, err := db.ReconstructDynamic("community", core.PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range recon {
+		if id == 20 {
+			t.Fatal("removed member reconstructed")
+		}
+	}
+	found := map[uint64]bool{}
+	for _, id := range recon {
+		found[id] = true
+	}
+	for _, id := range []uint64{10, 30, 40} {
+		if !found[id] {
+			t.Fatalf("remaining member %d missing from reconstruction", id)
+		}
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := db.RemoveDynamic("nope", 1); err == nil {
+		t.Fatal("remove from missing set accepted")
+	}
+	if _, err := db.ContainsDynamic("nope", 1); err == nil {
+		t.Fatal("contains on missing set accepted")
+	}
+	if _, err := db.SampleDynamic("nope", rng, nil); err == nil {
+		t.Fatal("sample from missing set accepted")
+	}
+	if _, err := db.ReconstructDynamic("nope", core.PruneByEstimate, nil); err == nil {
+		t.Fatal("reconstruct of missing set accepted")
+	}
+	if _, err := db.SnapshotDynamic("nope"); err == nil {
+		t.Fatal("snapshot of missing set accepted")
+	}
+	if err := db.AddDynamic("d", 1_000_000); err == nil {
+		t.Fatal("out-of-namespace id accepted")
+	}
+	if err := db.AddDynamic("d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveDynamic("d", 2); err == nil {
+		t.Fatal("remove of non-member accepted")
+	}
+}
+
+func TestDynamicPlainKeySpacesDisjoint(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDynamic("k", 2); err == nil {
+		t.Fatal("dynamic set allowed over plain key")
+	}
+	if err := db.AddDynamic("d", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("d", 3); err == nil {
+		t.Fatal("plain set allowed over dynamic key")
+	}
+	keys := db.DynamicKeys()
+	if len(keys) != 1 || keys[0] != "d" {
+		t.Fatalf("DynamicKeys = %v", keys)
+	}
+}
+
+func TestDynamicOnPrunedTreeGrows(t *testing.T) {
+	db, err := Open(testOptions(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Tree().Nodes()
+	if err := db.AddDynamic("d", 999_999); err != nil {
+		t.Fatal(err)
+	}
+	if db.Tree().Nodes() <= before {
+		t.Fatal("pruned tree did not grow for dynamic insert")
+	}
+	rng := rand.New(rand.NewSource(3))
+	x, err := db.SampleDynamic("d", rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := db.SnapshotDynamic("d")
+	if !snap.Contains(x) {
+		t.Fatalf("sample %d not positive", x)
+	}
+}
+
+func TestDynamicChurn(t *testing.T) {
+	// A community with heavy join/leave churn stays queryable and
+	// reconstructs to exactly its current membership (modulo filter FPs).
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	live := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// A random current member leaves.
+			for id := range live {
+				if err := db.RemoveDynamic("churn", id); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, id)
+				break
+			}
+		} else {
+			id := rng.Uint64() % 1_000_000
+			if !live[id] {
+				if err := db.AddDynamic("churn", id); err != nil {
+					t.Fatal(err)
+				}
+				live[id] = true
+			}
+		}
+	}
+	recon, err := db.ReconstructDynamic("churn", core.PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, id := range recon {
+		found[id] = true
+	}
+	for id := range live {
+		if !found[id] {
+			t.Fatalf("live member %d missing after churn", id)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package setdb implements the paper's §3.2 framework substrate: a
+// database D̄ = {B(X₁), B(X₂), …} of sets stored only as Bloom filters,
+// sharing one parameter profile and one BloomSampleTree. It is the layer a
+// downstream application talks to — store adjacency lists, keyword
+// posting lists or community member sets by key, then sample from or
+// reconstruct any of them, without the database ever materializing the
+// sets themselves.
+//
+// The database persists to a single file (Save/Load, or the streaming
+// WriteTo/ReadFrom), so a collection built by an ingest job can be served
+// by a separate process.
+package setdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/hashfam"
+)
+
+// Options configures a database.
+type Options struct {
+	// Namespace is the id domain [0, M) all stored sets draw from.
+	Namespace uint64
+	// Bits, K, HashKind, Seed define the shared Bloom-filter profile.
+	Bits     uint64
+	K        int
+	HashKind hashfam.Kind
+	Seed     uint64
+	// TreeDepth is the BloomSampleTree depth; 0 derives it from the cost
+	// model for DesignSetSize.
+	TreeDepth int
+	// DesignSetSize is the typical stored-set size used when TreeDepth is
+	// derived (default 1000).
+	DesignSetSize uint64
+	// Pruned selects a Pruned-BloomSampleTree fed by the ids actually
+	// inserted (recommended for sparse namespaces). A full tree is built
+	// eagerly otherwise.
+	Pruned bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.HashKind == "" {
+		o.HashKind = hashfam.KindMurmur3
+	}
+	if o.DesignSetSize == 0 {
+		o.DesignSetSize = 1000
+	}
+	return o
+}
+
+// PlanOptions derives Options from a desired sampling accuracy, mirroring
+// the paper's §5.4 planning.
+func PlanOptions(accuracy float64, designSetSize, namespace uint64, k int) (Options, error) {
+	plan, err := core.PlanTree(accuracy, designSetSize, namespace, k, 0)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Namespace:     namespace,
+		Bits:          plan.Bits,
+		K:             plan.K,
+		TreeDepth:     plan.Depth,
+		DesignSetSize: designSetSize,
+	}, nil
+}
+
+// DB is a keyed collection of Bloom-filter-encoded sets over one shared
+// namespace and one shared BloomSampleTree.
+//
+// DB is safe for concurrent use. Operations that evaluate a stored
+// filter (Sample, Reconstruct, Contains, …) take the exclusive lock even
+// though they are logically reads, because Filter reuses an internal
+// hash-position buffer per instance; metadata reads (Len, Keys, Options)
+// share the lock. Shard across DBs for read parallelism.
+type DB struct {
+	mu      sync.RWMutex
+	opts    Options
+	fam     hashfam.Family
+	tree    *core.Tree
+	sets    map[string]*bloom.Filter
+	dynamic map[string]*bloom.CountingFilter
+}
+
+// Open creates an empty database with the given options.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.TreeDepth == 0 {
+		ratio := float64(opts.Bits) / core.DefaultCostRatioDivisor
+		leaf := core.LeafRangeForRatio(ratio)
+		depth := 0
+		for r := opts.Namespace; r > leaf; r = (r + 1) / 2 {
+			depth++
+		}
+		opts.TreeDepth = depth
+	}
+	cfg := core.Config{
+		Namespace: opts.Namespace,
+		Bits:      opts.Bits,
+		K:         opts.K,
+		HashKind:  opts.HashKind,
+		Seed:      opts.Seed,
+		Depth:     opts.TreeDepth,
+	}
+	var tree *core.Tree
+	var err error
+	if opts.Pruned {
+		tree, err = core.BuildPruned(cfg, nil)
+	} else {
+		tree, err = core.BuildTree(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hashfam.New(opts.HashKind, opts.Bits, opts.K, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{opts: opts, fam: fam, tree: tree, sets: map[string]*bloom.Filter{}}, nil
+}
+
+// Options returns the database's (defaulted) options.
+func (db *DB) Options() Options { return db.opts }
+
+// Tree exposes the shared BloomSampleTree (read-only use).
+func (db *DB) Tree() *core.Tree { return db.tree }
+
+// Len returns the number of stored sets.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.sets)
+}
+
+// Keys returns the stored set keys in sorted order.
+func (db *DB) Keys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.sets))
+	for k := range db.sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Add inserts ids into the set stored under key, creating it on first
+// use. On a pruned database the shared tree grows to cover the new ids.
+func (db *DB) Add(key string, ids ...uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, id := range ids {
+		if id >= db.opts.Namespace {
+			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
+		}
+	}
+	if _, clash := db.dynamic[key]; clash {
+		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
+	}
+	f, ok := db.sets[key]
+	if !ok {
+		f = bloom.New(db.fam)
+		db.sets[key] = f
+	}
+	for _, id := range ids {
+		f.Add(id)
+		if db.opts.Pruned {
+			if err := db.tree.Insert(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes a stored set. It returns false if the key is absent.
+// (Individual ids cannot be removed from a Bloom filter.)
+func (db *DB) Delete(key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.sets[key]
+	delete(db.sets, key)
+	return ok
+}
+
+// Filter returns the stored filter for key (nil if absent). The returned
+// filter is shared — do not mutate it; use Add.
+func (db *DB) Filter(key string) *bloom.Filter {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sets[key]
+}
+
+// Contains reports whether id answers positively for the set under key.
+func (db *DB) Contains(key string, id uint64) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, ok := db.sets[key]
+	if !ok {
+		return false, fmt.Errorf("setdb: no set %q", key)
+	}
+	return f.Contains(id), nil
+}
+
+// Sample draws one element from the set under key using BSTSample.
+func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, ok := db.sets[key]
+	if !ok {
+		return 0, fmt.Errorf("setdb: no set %q", key)
+	}
+	return db.tree.Sample(f, rng, ops)
+}
+
+// SampleN draws r elements in a single tree pass (§5.3).
+func (db *DB) SampleN(key string, r int, withReplacement bool, rng *rand.Rand, ops *core.Ops) ([]uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, ok := db.sets[key]
+	if !ok {
+		return nil, fmt.Errorf("setdb: no set %q", key)
+	}
+	return db.tree.SampleN(f, r, withReplacement, rng, ops)
+}
+
+// UniformSampler returns a rejection-corrected exactly-uniform sampler
+// for the set under key.
+func (db *DB) UniformSampler(key string) (*core.UniformSampler, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, ok := db.sets[key]
+	if !ok {
+		return nil, fmt.Errorf("setdb: no set %q", key)
+	}
+	return db.tree.NewUniformSampler(f)
+}
+
+// Reconstruct returns the set stored under key (§6).
+func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, ok := db.sets[key]
+	if !ok {
+		return nil, fmt.Errorf("setdb: no set %q", key)
+	}
+	return db.tree.Reconstruct(f, rule, ops)
+}
+
+// IntersectionEstimate estimates |A ∩ B| for two stored sets.
+func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, okA := db.sets[keyA]
+	b, okB := db.sets[keyB]
+	if !okA || !okB {
+		return 0, fmt.Errorf("setdb: missing set %q or %q", keyA, keyB)
+	}
+	return bloom.EstimateIntersectionOf(a, b), nil
+}
+
+// File format:
+//
+//	magic    [6]byte "SETDB1"
+//	opts     namespace, bits, k, kind, seed, depth, pruned, design
+//	count    uint32
+//	entries  count × { keyLen uint16, key, filterLen uint32, filter }
+//
+// Filters embed their own parameters (bloom.MarshalBinary); they are
+// validated against the database profile on load.
+const dbMagic = "SETDB1"
+
+// WriteTo serializes the database. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.WriteString(dbMagic); err != nil {
+		return cw.n, err
+	}
+	kind := string(db.opts.HashKind)
+	hdr := make([]byte, 0, 64)
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Namespace)
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Bits)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(db.opts.K))
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Seed)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(db.opts.TreeDepth))
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.DesignSetSize)
+	if db.opts.Pruned {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 0)
+	}
+	hdr = append(hdr, byte(len(kind)))
+	hdr = append(hdr, kind...)
+	if _, err := bw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+
+	keys := make([]string, 0, len(db.sets))
+	for k := range db.sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(keys)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return cw.n, err
+	}
+	for _, k := range keys {
+		if len(k) > 1<<16-1 {
+			return cw.n, fmt.Errorf("setdb: key %.20q... too long", k)
+		}
+		data, err := db.sets[k].MarshalBinary()
+		if err != nil {
+			return cw.n, err
+		}
+		var kl [2]byte
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(k)))
+		if _, err := bw.Write(kl[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return cw.n, err
+		}
+		var fl [4]byte
+		binary.LittleEndian.PutUint32(fl[:], uint32(len(data)))
+		if _, err := bw.Write(fl[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a non-pruned database written by WriteTo. Pruned
+// databases need the occupied ids to rebuild their tree; use
+// ReadFromWithIDs (or Load with ids) for those.
+func ReadFrom(r io.Reader) (*DB, error) {
+	db, err := parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if db.opts.Pruned {
+		return nil, fmt.Errorf("setdb: pruned database requires the occupied ids; use ReadFromWithIDs")
+	}
+	return db, nil
+}
+
+// parse reads the on-disk format. For pruned databases the returned DB's
+// tree is empty until the caller rebuilds it.
+func parse(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("setdb: bad magic %q", magic)
+	}
+	fixed := make([]byte, 8+8+4+8+4+8+1+1)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Namespace:     binary.LittleEndian.Uint64(fixed[0:]),
+		Bits:          binary.LittleEndian.Uint64(fixed[8:]),
+		K:             int(binary.LittleEndian.Uint32(fixed[16:])),
+		Seed:          binary.LittleEndian.Uint64(fixed[20:]),
+		TreeDepth:     int(binary.LittleEndian.Uint32(fixed[28:])),
+		DesignSetSize: binary.LittleEndian.Uint64(fixed[32:]),
+		Pruned:        fixed[40] == 1,
+	}
+	kindLen := int(fixed[41])
+	kind := make([]byte, kindLen)
+	if _, err := io.ReadFull(br, kind); err != nil {
+		return nil, err
+	}
+	opts.HashKind = hashfam.Kind(kind)
+
+	db, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(cnt[:])
+	probe := bloom.New(db.fam)
+	for i := uint32(0); i < count; i++ {
+		var kl [2]byte
+		if _, err := io.ReadFull(br, kl[:]); err != nil {
+			return nil, err
+		}
+		key := make([]byte, binary.LittleEndian.Uint16(kl[:]))
+		if _, err := io.ReadFull(br, key); err != nil {
+			return nil, err
+		}
+		var fl [4]byte
+		if _, err := io.ReadFull(br, fl[:]); err != nil {
+			return nil, err
+		}
+		data := make([]byte, binary.LittleEndian.Uint32(fl[:]))
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, err
+		}
+		f, err := bloom.UnmarshalFilter(data)
+		if err != nil {
+			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
+		}
+		if err := probe.Compatible(f); err != nil {
+			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
+		}
+		db.sets[string(key)] = f
+	}
+	return db, nil
+}
+
+// ReadFromWithIDs deserializes a pruned database, rebuilding its tree
+// from the supplied occupied ids (typically persisted alongside by the
+// application, which owns the id universe).
+func ReadFromWithIDs(r io.Reader, occupied []uint64) (*DB, error) {
+	db, err := parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if db.opts.Pruned {
+		cfg := core.Config{
+			Namespace: db.opts.Namespace, Bits: db.opts.Bits, K: db.opts.K,
+			HashKind: db.opts.HashKind, Seed: db.opts.Seed, Depth: db.opts.TreeDepth,
+		}
+		tree, err := core.BuildPruned(cfg, occupied)
+		if err != nil {
+			return nil, err
+		}
+		db.tree = tree
+	}
+	return db, nil
+}
+
+// Save writes the database (and, for pruned databases, the occupied ids)
+// to path atomically (write to temp file, then rename).
+func (db *DB) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := db.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a database saved with Save. For pruned databases pass the
+// occupied ids via opts.
+func Load(path string, occupied []uint64) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if occupied != nil {
+		return ReadFromWithIDs(f, occupied)
+	}
+	return ReadFrom(f)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,357 @@
+package setdb
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testOptions(t *testing.T, pruned bool) Options {
+	t.Helper()
+	opts, err := PlanOptions(0.9, 500, 1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Pruned = pruned
+	opts.Seed = 7
+	return opts
+}
+
+func TestPlanOptions(t *testing.T) {
+	opts, err := PlanOptions(0.9, 1000, 1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Bits == 0 || opts.TreeDepth == 0 {
+		t.Fatalf("degenerate options: %+v", opts)
+	}
+	if _, err := PlanOptions(0, 1000, 100, 3); err == nil {
+		t.Fatal("bad accuracy accepted")
+	}
+}
+
+func TestOpenDerivesDepth(t *testing.T) {
+	opts := testOptions(t, false)
+	opts.TreeDepth = 0
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Options().TreeDepth == 0 {
+		t.Fatal("depth not derived")
+	}
+	if db.Tree() == nil {
+		t.Fatal("no tree")
+	}
+}
+
+func TestAddSampleReconstruct(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	members := []uint64{5, 99_999, 500_000, 999_999}
+	if err := db.Add("alpha", members...); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	for _, id := range members {
+		ok, err := db.Contains("alpha", id)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) = %v, %v", id, ok, err)
+		}
+	}
+	x, err := db.Sample("alpha", rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := db.Contains("alpha", x); !ok {
+		t.Fatalf("sample %d not a member", x)
+	}
+	got, err := db.Reconstruct("alpha", core.PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, id := range got {
+		found[id] = true
+	}
+	for _, id := range members {
+		if !found[id] {
+			t.Fatalf("reconstruction missing %d", id)
+		}
+	}
+}
+
+func TestMissingKeyErrors(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := db.Sample("nope", rng, nil); err == nil {
+		t.Fatal("missing key accepted by Sample")
+	}
+	if _, err := db.SampleN("nope", 2, true, rng, nil); err == nil {
+		t.Fatal("missing key accepted by SampleN")
+	}
+	if _, err := db.Reconstruct("nope", core.PruneByEstimate, nil); err == nil {
+		t.Fatal("missing key accepted by Reconstruct")
+	}
+	if _, err := db.Contains("nope", 1); err == nil {
+		t.Fatal("missing key accepted by Contains")
+	}
+	if _, err := db.UniformSampler("nope"); err == nil {
+		t.Fatal("missing key accepted by UniformSampler")
+	}
+	if _, err := db.IntersectionEstimate("nope", "nope2"); err == nil {
+		t.Fatal("missing keys accepted by IntersectionEstimate")
+	}
+	if db.Filter("nope") != nil {
+		t.Fatal("missing key returned a filter")
+	}
+}
+
+func TestAddValidatesNamespace(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("a", 1_000_000); err == nil {
+		t.Fatal("out-of-namespace id accepted")
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("b", 1)
+	db.Add("a", 2)
+	keys := db.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if !db.Delete("a") {
+		t.Fatal("Delete existing returned false")
+	}
+	if db.Delete("a") {
+		t.Fatal("Delete missing returned true")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestPrunedGrowsTree(t *testing.T) {
+	db, err := Open(testOptions(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Tree().Nodes()
+	if err := db.Add("x", 123, 999_000); err != nil {
+		t.Fatal(err)
+	}
+	if db.Tree().Nodes() <= before {
+		t.Fatal("pruned tree did not grow")
+	}
+	rng := rand.New(rand.NewSource(3))
+	x, err := db.Sample("x", rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 123 && x != 999_000 {
+		// Could be a false positive within occupied ranges; must at least
+		// answer positively.
+		if ok, _ := db.Contains("x", x); !ok {
+			t.Fatalf("sample %d not a member", x)
+		}
+	}
+}
+
+func TestIntersectionEstimate(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shared, aOnly, bOnly []uint64
+	for i := uint64(0); i < 300; i++ {
+		shared = append(shared, i*3)
+		aOnly = append(aOnly, 500_000+i*3)
+		bOnly = append(bOnly, 700_000+i*3)
+	}
+	db.Add("a", append(shared, aOnly...)...)
+	db.Add("b", append(shared, bOnly...)...)
+	est, err := db.IntersectionEstimate("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 150 || est > 450 {
+		t.Fatalf("estimate %.1f, want ~300", est)
+	}
+}
+
+func TestUniformSamplerThroughDB(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("s", 10, 20, 30, 40)
+	s, err := db.UniformSampler("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x, err := s.Sample(rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := db.Contains("s", x); !ok {
+		t.Fatalf("uniform sample %d not a member", x)
+	}
+}
+
+func TestWriteToReadFromRoundTrip(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("alpha", 1, 2, 3)
+	db.Add("beta", 100_000, 200_000)
+
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if ok, _ := got.Contains("alpha", id); !ok {
+			t.Fatalf("loaded db missing alpha/%d", id)
+		}
+	}
+	if !got.Filter("beta").Equal(db.Filter("beta")) {
+		t.Fatal("beta filter differs after round trip")
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := got.Sample("beta", rng, nil); err != nil {
+		t.Fatalf("loaded db cannot sample: %v", err)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a db"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPrunedSaveLoad(t *testing.T) {
+	db, err := Open(testOptions(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupied := []uint64{5, 10, 500_000, 900_001}
+	db.Add("s1", 5, 10)
+	db.Add("s2", 500_000, 900_001)
+
+	path := filepath.Join(t.TempDir(), "sets.db")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Loading a pruned database without ids must fail loudly.
+	if _, err := Load(path, nil); err == nil {
+		t.Fatal("pruned load without ids accepted")
+	}
+	got, err := Load(path, occupied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	x, err := got.Sample("s1", rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := got.Contains("s1", x); !ok {
+		t.Fatalf("sample %d not a member", x)
+	}
+	recon, err := got.Reconstruct("s2", core.PruneByAndBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, id := range recon {
+		found[id] = true
+	}
+	if !found[500_000] || !found[900_001] {
+		t.Fatalf("pruned reconstruction missing members: %v", recon)
+	}
+}
+
+func TestSaveLoadFullDB(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("k", 42)
+	path := filepath.Join(t.TempDir(), "full.db")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := got.Contains("k", 42); !ok {
+		t.Fatal("loaded db missing element")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		db.Add("set", uint64(i*1000))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 50; i++ {
+				switch i % 4 {
+				case 0:
+					db.Sample("set", rng, nil)
+				case 1:
+					db.Contains("set", uint64(i))
+				case 2:
+					db.Add("set", uint64(g*10000+i))
+				case 3:
+					db.Keys()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}

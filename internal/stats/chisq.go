@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChiSquaredResult reports a Pearson chi-squared goodness-of-fit test.
+type ChiSquaredResult struct {
+	// Statistic is the value q of Q = Σ (o_i − e_i)² / e_i.
+	Statistic float64
+	// DF is the degrees of freedom (number of cells − 1).
+	DF int
+	// PValue is P(Q >= q) under the null hypothesis.
+	PValue float64
+}
+
+// Reject reports whether the null hypothesis is rejected at significance
+// level alpha (the paper uses 0.08, §7.2).
+func (r ChiSquaredResult) Reject(alpha float64) bool { return r.PValue < alpha }
+
+func (r ChiSquaredResult) String() string {
+	return fmt.Sprintf("chi2=%.2f df=%d p=%.4f", r.Statistic, r.DF, r.PValue)
+}
+
+// ChiSquaredUniform tests the null hypothesis that the observed counts are
+// draws from the uniform distribution over the len(observed) cells (§7.2:
+// e_i = T/n for T total samples). It returns an error for fewer than two
+// cells or zero total observations.
+func ChiSquaredUniform(observed []int) (ChiSquaredResult, error) {
+	if len(observed) < 2 {
+		return ChiSquaredResult{}, fmt.Errorf("stats: need >= 2 cells, got %d", len(observed))
+	}
+	total := 0
+	for _, o := range observed {
+		if o < 0 {
+			return ChiSquaredResult{}, fmt.Errorf("stats: negative count %d", o)
+		}
+		total += o
+	}
+	if total == 0 {
+		return ChiSquaredResult{}, fmt.Errorf("stats: no observations")
+	}
+	e := float64(total) / float64(len(observed))
+	var q float64
+	for _, o := range observed {
+		d := float64(o) - e
+		q += d * d / e
+	}
+	df := len(observed) - 1
+	return ChiSquaredResult{Statistic: q, DF: df, PValue: ChiSquaredSurvival(q, df)}, nil
+}
+
+// ChiSquared tests observed counts against arbitrary expected counts.
+// expected must be strictly positive and the same length as observed.
+func ChiSquared(observed []int, expected []float64) (ChiSquaredResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquaredResult{}, fmt.Errorf("stats: length mismatch %d vs %d", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return ChiSquaredResult{}, fmt.Errorf("stats: need >= 2 cells, got %d", len(observed))
+	}
+	var q float64
+	for i, o := range observed {
+		if expected[i] <= 0 {
+			return ChiSquaredResult{}, fmt.Errorf("stats: non-positive expected count at %d", i)
+		}
+		d := float64(o) - expected[i]
+		q += d * d / expected[i]
+	}
+	df := len(observed) - 1
+	return ChiSquaredResult{Statistic: q, DF: df, PValue: ChiSquaredSurvival(q, df)}, nil
+}
+
+// RecommendedRounds returns the paper's sample-count recommendation for
+// the uniformity test at its significance level: T = 130·n (§7.2, citing
+// Six Sigma design guidance [24]).
+func RecommendedRounds(n int) int { return 130 * n }
+
+// Summary holds descriptive statistics of a float64 sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	P50, P95, P99  float64
+	Total, SumSqrs float64
+}
+
+// Summarize computes descriptive statistics; it copies and sorts the
+// input. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for _, x := range xs {
+		s.Total += x
+		s.SumSqrs += x * x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	n := float64(s.N)
+	s.Mean = s.Total / n
+	if s.N > 1 {
+		v := (s.SumSqrs - n*s.Mean*s.Mean) / (n - 1)
+		if v > 0 {
+			s.Std = math.Sqrt(v)
+		}
+	}
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the q-quantile of sorted data by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

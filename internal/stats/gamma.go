@@ -1,0 +1,109 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// uses: the Pearson chi-squared goodness-of-fit test for sample uniformity
+// (§7.2), with p-values computed from the regularized incomplete gamma
+// function, plus summary statistics for the experiment harness.
+package stats
+
+import (
+	"math"
+)
+
+// RegularizedGammaP returns P(a, x), the regularized lower incomplete
+// gamma function, computed with the series expansion for x < a+1 and the
+// continued fraction for x >= a+1 (Numerical Recipes §6.2). a must be
+// positive and x non-negative; out-of-domain inputs return NaN.
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// RegularizedGammaQ returns Q(a, x) = 1 − P(a, x), the regularized upper
+// incomplete gamma function.
+func RegularizedGammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeries(a, x)
+	default:
+		return gammaContinuedFraction(a, x)
+	}
+}
+
+const (
+	gammaEpsilon  = 3e-14
+	gammaMaxIters = 1000
+)
+
+// gammaSeries evaluates P(a,x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIters; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEpsilon {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by its continued fraction
+// (modified Lentz's method).
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIters; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEpsilon {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquaredSurvival returns P(Q >= q) for a chi-squared random variable Q
+// with df degrees of freedom: the p-value of an observed statistic q.
+func ChiSquaredSurvival(q float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return 1
+	}
+	return RegularizedGammaQ(float64(df)/2, q/2)
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Reference values for the chi-squared survival function, from standard
+// distribution tables: P(Q >= q | df).
+func TestChiSquaredSurvivalReferenceValues(t *testing.T) {
+	cases := []struct {
+		q    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{18.307, 10, 0.05},
+		{2.706, 1, 0.10},
+		{23.209, 10, 0.01},
+		{10, 10, 0.4405}, // P(X>=10) for df=10
+		{1, 1, 0.3173},
+	}
+	for _, c := range cases {
+		got := ChiSquaredSurvival(c.q, c.df)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("Survival(%v, %d) = %.4f, want %.4f", c.q, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquaredSurvivalEdges(t *testing.T) {
+	if got := ChiSquaredSurvival(0, 5); got != 1 {
+		t.Fatalf("Survival(0) = %v, want 1", got)
+	}
+	if got := ChiSquaredSurvival(-1, 5); got != 1 {
+		t.Fatalf("Survival(-1) = %v, want 1", got)
+	}
+	if !math.IsNaN(ChiSquaredSurvival(1, 0)) {
+		t.Fatal("df=0 did not return NaN")
+	}
+	if got := ChiSquaredSurvival(1e6, 3); got > 1e-10 {
+		t.Fatalf("huge statistic: p = %v, want ~0", got)
+	}
+}
+
+func TestRegularizedGammaComplementarity(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 100} {
+		for _, x := range []float64{0.1, 1, 5, 50, 200} {
+			p := RegularizedGammaP(a, x)
+			q := RegularizedGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Fatalf("P+Q = %v for a=%v x=%v", p+q, a, x)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Fatalf("out of [0,1]: P=%v Q=%v for a=%v x=%v", p, q, a, x)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (exponential CDF).
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegularizedGammaP(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaDomain(t *testing.T) {
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) || !math.IsNaN(RegularizedGammaP(1, -1)) {
+		t.Fatal("domain errors not NaN")
+	}
+	if RegularizedGammaP(3, 0) != 0 || RegularizedGammaQ(3, 0) != 1 {
+		t.Fatal("x=0 values wrong")
+	}
+}
+
+// Property: the gamma functions are monotone in x.
+func TestQuickGammaMonotone(t *testing.T) {
+	f := func(aSeed, xSeed uint16) bool {
+		a := 0.5 + float64(aSeed%100)
+		x1 := float64(xSeed%1000) / 10
+		x2 := x1 + 1
+		return RegularizedGammaP(a, x1) <= RegularizedGammaP(a, x2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquaredUniformAcceptsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	for i := 0; i < 13000; i++ {
+		counts[rng.Intn(100)]++
+	}
+	res, err := ChiSquaredUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Fatalf("uniform sample rejected: %v", res)
+	}
+	if res.DF != 99 {
+		t.Fatalf("df = %d, want 99", res.DF)
+	}
+}
+
+func TestChiSquaredUniformRejectsSkewed(t *testing.T) {
+	counts := make([]int, 100)
+	for i := range counts {
+		counts[i] = 100
+	}
+	counts[0] = 2000 // one cell wildly overrepresented
+	res, err := ChiSquaredUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.08) {
+		t.Fatalf("skewed sample accepted: %v", res)
+	}
+}
+
+func TestChiSquaredUniformErrors(t *testing.T) {
+	if _, err := ChiSquaredUniform([]int{5}); err == nil {
+		t.Fatal("single cell accepted")
+	}
+	if _, err := ChiSquaredUniform([]int{0, 0}); err == nil {
+		t.Fatal("zero totals accepted")
+	}
+	if _, err := ChiSquaredUniform([]int{1, -1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestChiSquaredAgainstExpected(t *testing.T) {
+	obs := []int{50, 30, 20}
+	exp := []float64{50, 30, 20}
+	res, err := ChiSquared(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 || res.PValue != 1 {
+		t.Fatalf("perfect fit: %v", res)
+	}
+	if _, err := ChiSquared([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ChiSquared([]int{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("zero expected accepted")
+	}
+	if _, err := ChiSquared([]int{1}, []float64{1}); err == nil {
+		t.Fatal("single cell accepted")
+	}
+}
+
+func TestChiSquaredResultString(t *testing.T) {
+	r := ChiSquaredResult{Statistic: 1.5, DF: 3, PValue: 0.68}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestRecommendedRounds(t *testing.T) {
+	if RecommendedRounds(1000) != 130000 {
+		t.Fatal("wrong recommendation")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty input not zero")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Std != 0 {
+		t.Fatalf("singleton summary wrong: %+v", one)
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("quantiles wrong: %+v", s)
+	}
+}
+
+// Property: chi-squared statistic is invariant under cell permutation.
+func TestQuickChiSquaredPermutationInvariant(t *testing.T) {
+	f := func(counts []uint8, seed int64) bool {
+		if len(counts) < 2 {
+			return true
+		}
+		obs := make([]int, len(counts))
+		total := 0
+		for i, c := range counts {
+			obs[i] = int(c)
+			total += int(c)
+		}
+		if total == 0 {
+			return true
+		}
+		r1, err := ChiSquaredUniform(obs)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(obs), func(i, j int) { obs[i], obs[j] = obs[j], obs[i] })
+		r2, err := ChiSquaredUniform(obs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1.Statistic-r2.Statistic) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

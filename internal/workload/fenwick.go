@@ -1,0 +1,111 @@
+// Package workload generates the query sets and namespaces the paper's
+// evaluation uses (§7.1, §8.1): uniform query sets, clustered query sets
+// produced by the paper's pdf-splitting procedure (implemented exactly,
+// with a Fenwick tree and a global scale factor so the aggressive p%
+// variant costs O(log M) per draw instead of O(M)), low-occupancy
+// namespaces assembled from 256 leaf ranges, and a synthetic substitute
+// for the paper's Twitter crawl.
+package workload
+
+import "fmt"
+
+// Fenwick is a binary indexed tree over float64 weights supporting point
+// updates, prefix sums, and weighted selection in O(log n). A global scale
+// factor lets "multiply every weight by c" run in O(1), which the
+// clustered generator's p% redistribution step relies on.
+type Fenwick struct {
+	tree  []float64 // 1-based BIT of scaled weights
+	n     int
+	scale float64 // true weight = stored weight * scale
+}
+
+// NewFenwick returns a tree of n weights, all initialized to w.
+func NewFenwick(n int, w float64) *Fenwick {
+	f := &Fenwick{tree: make([]float64, n+1), n: n, scale: 1}
+	if w != 0 {
+		// O(n) bulk init: set raw values then fold children into parents.
+		for i := 1; i <= n; i++ {
+			f.tree[i] += w
+			if j := i + (i & -i); j <= n {
+				f.tree[j] += f.tree[i]
+			}
+		}
+	}
+	return f
+}
+
+// Len returns the number of weights.
+func (f *Fenwick) Len() int { return f.n }
+
+// Add adds delta to weight i (0-based), in true (unscaled) units.
+func (f *Fenwick) Add(i int, delta float64) {
+	if i < 0 || i >= f.n {
+		panic(fmt.Sprintf("workload: fenwick index %d out of range [0,%d)", i, f.n))
+	}
+	d := delta / f.scale
+	for j := i + 1; j <= f.n; j += j & -j {
+		f.tree[j] += d
+	}
+}
+
+// PrefixSum returns the sum of true weights of indices [0, i].
+func (f *Fenwick) PrefixSum(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= f.n {
+		i = f.n - 1
+	}
+	var s float64
+	for j := i + 1; j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s * f.scale
+}
+
+// Total returns the sum of all true weights.
+func (f *Fenwick) Total() float64 { return f.PrefixSum(f.n - 1) }
+
+// Weight returns the true weight at index i.
+func (f *Fenwick) Weight(i int) float64 { return f.PrefixSum(i) - f.PrefixSum(i-1) }
+
+// ScaleAll multiplies every weight by c in O(1) (c must be positive).
+// When the accumulated scale approaches the floating-point underflow
+// boundary the tree is renormalized in O(n), so arbitrarily long sequences
+// of down-scalings stay exact.
+func (f *Fenwick) ScaleAll(c float64) {
+	if c <= 0 {
+		panic("workload: non-positive scale")
+	}
+	f.scale *= c
+	if f.scale < 1e-120 || f.scale > 1e120 {
+		for i := range f.tree {
+			f.tree[i] *= f.scale
+		}
+		f.scale = 1
+	}
+}
+
+// Select returns the smallest index i with PrefixSum(i) > target, i.e. the
+// index a weighted draw with cumulative value target lands on. target must
+// lie in [0, Total()); results are undefined outside.
+func (f *Fenwick) Select(target float64) int {
+	t := target / f.scale
+	idx := 0
+	// Highest power of two <= n.
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && f.tree[next] <= t {
+			idx = next
+			t -= f.tree[next]
+		}
+	}
+	if idx >= f.n {
+		idx = f.n - 1
+	}
+	return idx
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UniformSet draws n distinct elements uniformly at random from [0, M)
+// without replacement (§7.1 "Uniform sets").
+func UniformSet(rng *rand.Rand, M uint64, n int) ([]uint64, error) {
+	if uint64(n) > M {
+		return nil, fmt.Errorf("workload: n = %d exceeds namespace %d", n, M)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative n = %d", n)
+	}
+	// Rejection with a set is O(n) expected while n << M; for dense draws
+	// (n > M/2) invert the selection to keep the bound.
+	if uint64(n)*2 > M {
+		excluded, err := UniformSet(rng, M, int(M)-n)
+		if err != nil {
+			return nil, err
+		}
+		ex := make(map[uint64]bool, len(excluded))
+		for _, x := range excluded {
+			ex[x] = true
+		}
+		out := make([]uint64, 0, n)
+		for x := uint64(0); x < M; x++ {
+			if !ex[x] {
+				out = append(out, x)
+			}
+		}
+		return out, nil
+	}
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		x := rng.Uint64() % M
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out, nil
+}
+
+// DefaultClusterP is the paper's degree-of-clustering parameter: "For our
+// experiments, we have used p = 10" (§7.1).
+const DefaultClusterP = 10
+
+// ClusteredSet generates n distinct elements of [0, M) with the paper's
+// pdf-splitting procedure (§7.1): the pdf starts uniform; after each draw
+// s, pdf(s) is split equally between its nearest still-live neighbours x
+// (below) and y (above) and pdf(s) is zeroed, so later draws cluster
+// around earlier ones. With p > 0, p% of every element's probability is
+// additionally subtracted and folded into x and y, clustering more
+// aggressively.
+//
+// The procedure is implemented exactly, but the O(M) "subtract p% from
+// every element" step is realized as an O(1) global rescale of a Fenwick
+// tree plus two point updates, so the whole generation costs O(n·log M).
+func ClusteredSet(rng *rand.Rand, M uint64, n int, p float64) ([]uint64, error) {
+	if uint64(n) > M {
+		return nil, fmt.Errorf("workload: n = %d exceeds namespace %d", n, M)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative n = %d", n)
+	}
+	if p < 0 || p >= 100 {
+		return nil, fmt.Errorf("workload: clustering p = %v out of [0,100)", p)
+	}
+	if M > 1<<31 {
+		return nil, fmt.Errorf("workload: namespace %d too large for exact pdf (use cluster centers instead)", M)
+	}
+	m := int(M)
+	pdf := NewFenwick(m, 1)
+	// live tracks indices with pdf > 0 for neighbour queries: a Fenwick of
+	// 0/1 indicators supports predecessor/successor by rank.
+	live := NewFenwick(m, 1)
+	out := make([]uint64, 0, n)
+
+	for len(out) < n {
+		total := pdf.Total()
+		s := pdf.Select(rng.Float64() * total)
+		ws := pdf.Weight(s)
+		if ws <= 0 {
+			// Floating-point edge: Select landed on a zeroed cell; retry.
+			continue
+		}
+		out = append(out, uint64(s))
+
+		// Neighbours: nearest live x < s and y > s.
+		x, hasX := predecessorLive(live, s)
+		y, hasY := successorLive(live, s)
+
+		// Zero pdf(s) and mark dead.
+		pdf.Add(s, -ws)
+		live.Add(s, -1)
+
+		// The mass to redistribute: pdf(s), plus p% of all remaining mass.
+		redistribute := ws
+		if p > 0 {
+			remaining := pdf.Total()
+			frac := p / 100
+			pdf.ScaleAll(1 - frac)
+			redistribute += remaining * frac
+		}
+		switch {
+		case hasX && hasY:
+			pdf.Add(x, redistribute/2)
+			pdf.Add(y, redistribute/2)
+		case hasX:
+			pdf.Add(x, redistribute)
+		case hasY:
+			pdf.Add(y, redistribute)
+			// If neither neighbour exists every element has been drawn;
+			// the loop is about to end.
+		}
+	}
+	return out, nil
+}
+
+// predecessorLive returns the largest live index < s.
+func predecessorLive(live *Fenwick, s int) (int, bool) {
+	rank := live.PrefixSum(s - 1) // number of live elements below s
+	if rank < 0.5 {
+		return 0, false
+	}
+	// The element with cumulative count == rank is the rank-th live index
+	// (1-based): select with target rank-0.5 to dodge float error.
+	return live.Select(rank - 0.5), true
+}
+
+// successorLive returns the smallest live index > s.
+func successorLive(live *Fenwick, s int) (int, bool) {
+	below := live.PrefixSum(s) // live elements <= s
+	total := live.Total()
+	if total-below < 0.5 {
+		return 0, false
+	}
+	return live.Select(below + 0.5), true
+}

@@ -1,0 +1,501 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwickBasics(t *testing.T) {
+	f := NewFenwick(10, 1)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if got := f.Total(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("Total = %v, want 10", got)
+	}
+	if got := f.PrefixSum(4); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("PrefixSum(4) = %v, want 5", got)
+	}
+	f.Add(3, 2.5)
+	if got := f.Weight(3); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("Weight(3) = %v, want 3.5", got)
+	}
+	if got := f.PrefixSum(2); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("PrefixSum(2) changed: %v", got)
+	}
+}
+
+func TestFenwickZeroInit(t *testing.T) {
+	f := NewFenwick(5, 0)
+	if f.Total() != 0 {
+		t.Fatalf("Total = %v", f.Total())
+	}
+	f.Add(0, 1)
+	f.Add(4, 1)
+	if got := f.PrefixSum(3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PrefixSum(3) = %v", got)
+	}
+}
+
+func TestFenwickSelect(t *testing.T) {
+	f := NewFenwick(4, 0)
+	f.Add(0, 1) // cumulative 1
+	f.Add(1, 2) // cumulative 3
+	f.Add(3, 4) // cumulative 7 (index 2 has weight 0)
+	cases := []struct {
+		target float64
+		want   int
+	}{
+		{0, 0}, {0.99, 0}, {1.0, 1}, {2.9, 1}, {3.0, 3}, {6.9, 3},
+	}
+	for _, c := range cases {
+		if got := f.Select(c.target); got != c.want {
+			t.Errorf("Select(%v) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestFenwickScaleAll(t *testing.T) {
+	f := NewFenwick(4, 2)
+	f.ScaleAll(0.5)
+	if got := f.Total(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Total after scale = %v, want 4", got)
+	}
+	f.Add(0, 1) // true units
+	if got := f.Weight(0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Weight(0) = %v, want 2", got)
+	}
+	// Repeated down-scaling must not underflow (renormalization).
+	for i := 0; i < 5000; i++ {
+		f.ScaleAll(0.9)
+	}
+	if tot := f.Total(); tot < 0 || math.IsNaN(tot) || math.IsInf(tot, 0) {
+		t.Fatalf("Total degenerate after many scales: %v", tot)
+	}
+	f.Add(1, 1)
+	if w := f.Weight(1); math.IsNaN(w) || math.IsInf(w, 0) {
+		t.Fatalf("Weight degenerate: %v", w)
+	}
+}
+
+func TestFenwickPanics(t *testing.T) {
+	f := NewFenwick(3, 1)
+	for name, fn := range map[string]func(){
+		"Add range": func() { f.Add(3, 1) },
+		"Scale 0":   func() { f.ScaleAll(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: PrefixSum is consistent with Weight.
+func TestQuickFenwickConsistency(t *testing.T) {
+	f := func(adds []uint8) bool {
+		fw := NewFenwick(16, 1)
+		ref := make([]float64, 16)
+		for i := range ref {
+			ref[i] = 1
+		}
+		for _, a := range adds {
+			i := int(a) % 16
+			fw.Add(i, float64(a%7))
+			ref[i] += float64(a % 7)
+		}
+		var sum float64
+		for i := 0; i < 16; i++ {
+			sum += ref[i]
+			if math.Abs(fw.PrefixSum(i)-sum) > 1e-9 {
+				return false
+			}
+			if math.Abs(fw.Weight(i)-ref[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Select inverts PrefixSum — Select of any target within
+// element i's cumulative span returns i (for positive weights).
+func TestQuickFenwickSelectInverse(t *testing.T) {
+	f := func(weights []uint8, probe uint8) bool {
+		if len(weights) == 0 {
+			return true
+		}
+		fw := NewFenwick(len(weights), 0)
+		for i, w := range weights {
+			fw.Add(i, float64(w)+1) // strictly positive
+		}
+		i := int(probe) % len(weights)
+		lo := fw.PrefixSum(i - 1)
+		hi := fw.PrefixSum(i)
+		mid := (lo + hi) / 2
+		return fw.Select(mid) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformSetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	set, err := UniformSet(rng, 10000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 500 {
+		t.Fatalf("len = %d", len(set))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range set {
+		if x >= 10000 {
+			t.Fatalf("element %d out of range", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestUniformSetDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set, err := UniformSet(rng, 100, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 95 {
+		t.Fatalf("len = %d", len(set))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range set {
+		if seen[x] || x >= 100 {
+			t.Fatalf("bad element %d", x)
+		}
+		seen[x] = true
+	}
+	// Full draw.
+	all, err := UniformSet(rng, 50, 50)
+	if err != nil || len(all) != 50 {
+		t.Fatalf("full draw: %v len=%d", err, len(all))
+	}
+}
+
+func TestUniformSetErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := UniformSet(rng, 10, 11); err == nil {
+		t.Fatal("n > M accepted")
+	}
+	if _, err := UniformSet(rng, 10, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	empty, err := UniformSet(rng, 10, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("n=0: %v len=%d", err, len(empty))
+	}
+}
+
+func TestClusteredSetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	set, err := ClusteredSet(rng, 10000, 300, DefaultClusterP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 300 {
+		t.Fatalf("len = %d", len(set))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range set {
+		if x >= 10000 {
+			t.Fatalf("element %d out of range", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+// Clustered sets should have smaller average nearest-neighbour gaps than
+// uniform sets of the same size — that is their defining property.
+func TestClusteredSetIsMoreClusteredThanUniform(t *testing.T) {
+	const M, n = 100000, 500
+	meanGap := func(set []uint64) float64 {
+		s := append([]uint64(nil), set...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		var sum float64
+		for i := 1; i < len(s); i++ {
+			sum += float64(s[i] - s[i-1])
+		}
+		return sum / float64(len(s)-1)
+	}
+	var clusteredGap, uniformGap float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		cs, err := ClusteredSet(rng, M, n, DefaultClusterP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, err := UniformSet(rng, M, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusteredGap += meanGap(cs)
+		uniformGap += meanGap(us)
+	}
+	// The median gap is the sharper statistic, but mean suffices for a
+	// 5-trial average with p=10 clustering.
+	if clusteredGap >= uniformGap {
+		t.Fatalf("clustered mean gap %.1f >= uniform %.1f", clusteredGap/trials, uniformGap/trials)
+	}
+}
+
+func TestClusteredSetErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := ClusteredSet(rng, 10, 11, 10); err == nil {
+		t.Fatal("n > M accepted")
+	}
+	if _, err := ClusteredSet(rng, 10, -1, 10); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := ClusteredSet(rng, 10, 5, -1); err == nil {
+		t.Fatal("negative p accepted")
+	}
+	if _, err := ClusteredSet(rng, 10, 5, 100); err == nil {
+		t.Fatal("p=100 accepted")
+	}
+	if _, err := ClusteredSet(rng, 1<<40, 5, 10); err == nil {
+		t.Fatal("huge namespace accepted")
+	}
+}
+
+func TestClusteredSetFullDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	set, err := ClusteredSet(rng, 64, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 64 {
+		t.Fatalf("len = %d", len(set))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range set {
+		seen[x] = true
+	}
+	if len(seen) != 64 {
+		t.Fatal("full draw not a permutation")
+	}
+}
+
+func TestLeafRanges(t *testing.T) {
+	rs := LeafRanges(1000, 16)
+	if len(rs) != 16 {
+		t.Fatalf("count = %d", len(rs))
+	}
+	var covered uint64
+	pos := uint64(0)
+	for _, r := range rs {
+		if r.Lo != pos {
+			t.Fatalf("gap at %d", pos)
+		}
+		covered += r.Len()
+		pos = r.Hi
+	}
+	if pos != 1000 || covered != 1000 {
+		t.Fatalf("coverage %d ends %d", covered, pos)
+	}
+	if !rs[0].Contains(0) || rs[0].Contains(rs[0].Hi) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSelectLeavesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	idx, err := SelectLeavesUniform(rng, 256, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 52 // ceil(0.2 * 256)
+	if len(idx) != want {
+		t.Fatalf("selected %d leaves, want %d", len(idx), want)
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Fatal("not sorted")
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 256 || seen[i] {
+			t.Fatalf("bad leaf %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSelectLeavesClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	idx, err := SelectLeavesClustered(rng, 256, 0.2, DefaultClusterP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 52 {
+		t.Fatalf("selected %d leaves, want 52", len(idx))
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSelectLeavesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := SelectLeavesUniform(rng, 0, 0.5); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+	if _, err := SelectLeavesUniform(rng, 256, 0); err == nil {
+		t.Fatal("fraction=0 accepted")
+	}
+	if _, err := SelectLeavesUniform(rng, 256, 1.5); err == nil {
+		t.Fatal("fraction>1 accepted")
+	}
+	// fraction=1 selects everything.
+	all, err := SelectLeavesUniform(rng, 8, 1)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("fraction=1: %v len=%d", err, len(all))
+	}
+}
+
+func TestPopulateNamespace(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	idx, err := SelectLeavesUniform(rng, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := PopulateNamespace(rng, 160000, 16, idx, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.IDs) != 2000 {
+		t.Fatalf("population = %d", len(ns.IDs))
+	}
+	if !sort.SliceIsSorted(ns.IDs, func(i, j int) bool { return ns.IDs[i] < ns.IDs[j] }) {
+		t.Fatal("ids not sorted")
+	}
+	// Every id must lie in a selected leaf.
+	inLeaves := func(x uint64) bool {
+		for _, r := range ns.Leaves {
+			if r.Contains(x) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range ns.IDs {
+		if !inLeaves(id) {
+			t.Fatalf("id %d outside selected leaves", id)
+		}
+	}
+	if f := ns.Fraction(); math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("fraction = %v, want ~0.25", f)
+	}
+}
+
+func TestPopulateNamespaceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if _, err := PopulateNamespace(rng, 1000, 16, nil, 10); err == nil {
+		t.Fatal("no leaves accepted")
+	}
+	if _, err := PopulateNamespace(rng, 1000, 16, []int{99}, 10); err == nil {
+		t.Fatal("bad leaf index accepted")
+	}
+	if _, err := PopulateNamespace(rng, 1000, 16, []int{0}, 100000); err == nil {
+		t.Fatal("overpopulation accepted")
+	}
+}
+
+func TestSynthesizeCrawl(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	idx, err := SelectLeavesUniform(rng, 256, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := PopulateNamespace(rng, 2_200_000, 256, idx, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawl, err := SynthesizeCrawl(rng, ns, CrawlConfig{
+		M: 2_200_000, Population: 7200, Hashtags: 50, MinTagSize: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawl.Tags) != 50 {
+		t.Fatalf("tags = %d", len(crawl.Tags))
+	}
+	pop := map[uint64]bool{}
+	for _, id := range ns.IDs {
+		pop[id] = true
+	}
+	for ti, tag := range crawl.Tags {
+		if len(tag) < 100 {
+			t.Fatalf("tag %d has %d users, want >= 100", ti, len(tag))
+		}
+		seen := map[uint64]bool{}
+		for _, u := range tag {
+			if !pop[u] {
+				t.Fatalf("tag %d contains non-population user %d", ti, u)
+			}
+			if seen[u] {
+				t.Fatalf("tag %d has duplicate user %d", ti, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestSynthesizeCrawlErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	empty := &OccupiedNamespace{M: 100}
+	if _, err := SynthesizeCrawl(rng, empty, CrawlConfig{}); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	ns := &OccupiedNamespace{M: 100, IDs: []uint64{1, 2, 3}, Leaves: []Range{{0, 100}}}
+	if _, err := SynthesizeCrawl(rng, ns, CrawlConfig{M: 100, Population: 3, Hashtags: 1, MinTagSize: 10}); err == nil {
+		t.Fatal("min tag size > population accepted")
+	}
+}
+
+func TestZipfSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 1000; i++ {
+		s := zipfSize(rng, 100, 5000, 1.5)
+		if s < 100 || s > 5000 {
+			t.Fatalf("size %d out of bounds", s)
+		}
+	}
+	if zipfSize(rng, 10, 10, 1.5) != 10 {
+		t.Fatal("degenerate interval wrong")
+	}
+	// Heavy tail: small sizes dominate.
+	small := 0
+	for i := 0; i < 1000; i++ {
+		if zipfSize(rng, 100, 5000, 1.5) < 500 {
+			small++
+		}
+	}
+	if small < 600 {
+		t.Fatalf("only %d/1000 small sizes; distribution not heavy-tailed", small)
+	}
+}
