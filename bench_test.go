@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	bloomsample "repro"
@@ -738,4 +739,74 @@ func BenchmarkUniformSampler(b *testing.B) {
 		st := s.Stats()
 		b.ReportMetric(float64(st.Attempts)/float64(st.Accepted), "attempts/sample")
 	})
+}
+
+// BenchmarkSetDBParallelSample quantifies the lock-free read path: every
+// Sample on the old exclusive-lock DB serialized all callers, so RunParallel
+// throughput could not exceed single-goroutine throughput. With immutable
+// filter/tree reads and sharded read locks, samples/sec scales with
+// GOMAXPROCS. Compare ns/op at -cpu=1 vs -cpu=8 (or set the "goroutines"
+// metric in the concurrency experiment: `bstbench -exp concurrency`).
+func BenchmarkSetDBParallelSample(b *testing.B) {
+	small, _, _ := benchNamespaces()
+	const n = 1000
+	opts, err := bloomsample.PlanSetDB(0.9, n, small, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := bloomsample.OpenSetDB(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	set, err := workload.UniformSet(rng, small, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Add("bench", set...); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if _, err := db.Sample("bench", rng, nil); err != nil && err != bloomsample.ErrNoSample {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSetDBSampleMany measures the batch API end to end (including
+// worker startup) at several worker counts.
+func BenchmarkSetDBSampleMany(b *testing.B) {
+	small, _, _ := benchNamespaces()
+	const n = 1000
+	opts, err := bloomsample.PlanSetDB(0.9, n, small, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := bloomsample.OpenSetDB(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	set, err := workload.UniformSet(rng, small, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Add("bench", set...); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.SampleManyWorkers("bench", 256, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -13,6 +13,22 @@
 // Pruned variant allocates only occupied subtrees and can grow
 // dynamically.
 //
+// # Concurrency
+//
+// The whole query side is lock-free and safe for unsynchronized
+// concurrent use: Filter.Contains and the estimators are read-only (hash
+// position buffers are pooled, not per-filter), and Tree.Sample /
+// Tree.SampleN / Tree.Reconstruct only read immutable node filters — any
+// number of goroutines may query one tree, even sharing a single query
+// Filter, as long as each owns its rand source and Ops accumulator.
+// Mutating a Filter (Add) or a pruned Tree (Insert) requires external
+// synchronization. SetDB layers that synchronization for you: its keyed
+// sets are sharded across independently locked maps, reads take only
+// per-shard read locks, and the batch helpers SetDB.SampleMany and
+// SetDB.ReconstructAll fan work out across GOMAXPROCS goroutines. A
+// UniformSampler instance self-calibrates and is the one query-side
+// object that is NOT concurrency-safe; create one per goroutine.
+//
 // Quick start:
 //
 //	plan, _ := bloomsample.Plan(0.9, 1000, 1_000_000, 3)        // accuracy, |set|, |namespace|, k
@@ -185,11 +201,20 @@ type UniformStats = core.UniformStats
 // SetDB is a keyed database of sets stored only as Bloom filters over a
 // shared namespace and BloomSampleTree — the paper's §3.2 framework. It
 // supports per-key sampling and reconstruction and persists to a single
-// file.
+// file. SetDB is safe for concurrent use with a genuinely parallel read
+// path: queries take only read locks on the key's shard, so concurrent
+// Sample/Contains/Reconstruct calls — even on the same key — never
+// serialize. The batch APIs SampleMany and ReconstructAll parallelize
+// internally.
 type SetDB = setdb.DB
 
 // SetDBOptions configures a SetDB.
 type SetDBOptions = setdb.Options
+
+// SetDBSampler is the database-bound exactly-uniform sampler returned by
+// SetDB.UniformSampler: each draw locks against concurrent writes, so it
+// remains safe while other goroutines Add to the database.
+type SetDBSampler = setdb.Sampler
 
 // OpenSetDB creates an empty set database.
 func OpenSetDB(opts SetDBOptions) (*SetDB, error) { return setdb.Open(opts) }

@@ -5,10 +5,14 @@
 //	bstbench -exp fig3              # one experiment at reduced scale
 //	bstbench -exp all -full         # everything at paper scale (hours!)
 //	bstbench -exp tab5 -csv out/    # also write CSV files
+//	bstbench -exp concurrency       # sampled-per-second vs goroutine count
 //	bstbench -list                  # show available experiment ids
 //
 // Experiment ids follow the paper: fig3..fig15 are Figures 3–15, tab2..
-// tab6 are Tables 2–6, and abl-* are the DESIGN.md ablations.
+// tab6 are Tables 2–6, and abl-* are the DESIGN.md ablations. The extra
+// "concurrency" experiment measures SetDB parallel-sampling throughput
+// as the goroutine count grows — the scaling unlocked by the lock-free
+// read path.
 package main
 
 import (

@@ -28,8 +28,11 @@ func (d DictionaryAttack) Sample(q *bloom.Filter, rng *rand.Rand, ops *core.Ops)
 	if ops != nil {
 		ops.Memberships += d.Namespace
 	}
+	var scratch []uint64
 	for y := uint64(0); y < d.Namespace; y++ {
-		if q.Contains(y) {
+		var hit bool
+		hit, scratch = q.ContainsScratch(y, scratch)
+		if hit {
 			count++
 			if rng.Intn(count) == 0 {
 				x = y
@@ -51,8 +54,11 @@ func (d DictionaryAttack) SampleN(q *bloom.Filter, r int, rng *rand.Rand, ops *c
 	}
 	reservoir := make([]uint64, 0, r)
 	count := 0
+	var scratch []uint64
 	for y := uint64(0); y < d.Namespace; y++ {
-		if !q.Contains(y) {
+		var hit bool
+		hit, scratch = q.ContainsScratch(y, scratch)
+		if !hit {
 			continue
 		}
 		count++
@@ -72,8 +78,11 @@ func (d DictionaryAttack) Reconstruct(q *bloom.Filter, ops *core.Ops) []uint64 {
 		ops.Memberships += d.Namespace
 	}
 	var out []uint64
+	var scratch []uint64
 	for y := uint64(0); y < d.Namespace; y++ {
-		if q.Contains(y) {
+		var hit bool
+		hit, scratch = q.ContainsScratch(y, scratch)
+		if hit {
 			out = append(out, y)
 		}
 	}

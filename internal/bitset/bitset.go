@@ -121,7 +121,8 @@ func (s *Set) Equal(t *Set) bool {
 	return true
 }
 
-// And returns a new vector that is the bitwise AND of s and t.
+// And returns a new vector that is the bitwise AND of s and t; the result
+// is allocated at the exact word count (New allocates (n+63)/64 words).
 // It panics if the lengths differ.
 func (s *Set) And(t *Set) *Set {
 	s.checkSameLen(t)
@@ -132,7 +133,8 @@ func (s *Set) And(t *Set) *Set {
 	return r
 }
 
-// Or returns a new vector that is the bitwise OR of s and t.
+// Or returns a new vector that is the bitwise OR of s and t; the result
+// is allocated at the exact word count (New allocates (n+63)/64 words).
 // It panics if the lengths differ.
 func (s *Set) Or(t *Set) *Set {
 	s.checkSameLen(t)
@@ -166,6 +168,19 @@ func (s *Set) AndCount(t *Set) uint64 {
 	var c uint64
 	for i := range s.words {
 		c += uint64(bits.OnesCount64(s.words[i] & t.words[i]))
+	}
+	return c
+}
+
+// AndNotCount returns popcount(s AND NOT t) — the number of bits set in s
+// but not in t — without allocating the difference. Together with AndCount
+// it recovers both individual popcounts from two vectors in one pass each:
+// count(s) = AndCount + AndNotCount(s, t). It panics if the lengths differ.
+func (s *Set) AndNotCount(t *Set) uint64 {
+	s.checkSameLen(t)
+	var c uint64
+	for i := range s.words {
+		c += uint64(bits.OnesCount64(s.words[i] &^ t.words[i]))
 	}
 	return c
 }

@@ -443,3 +443,53 @@ func BenchmarkAndCount(b *testing.B) {
 		_ = a.AndCount(c)
 	}
 }
+
+func TestAndNotCount(t *testing.T) {
+	s := New(200)
+	u := New(200)
+	for i := uint64(0); i < 200; i += 2 {
+		s.Set(i) // evens
+	}
+	for i := uint64(0); i < 200; i += 6 {
+		u.Set(i) // multiples of 6
+	}
+	// Evens that are not multiples of 6: 100 - 34 = 66.
+	if got := s.AndNotCount(u); got != s.Count()-s.AndCount(u) {
+		t.Fatalf("AndNotCount = %d, want %d", got, s.Count()-s.AndCount(u))
+	}
+	if got := u.AndNotCount(s); got != 0 {
+		t.Fatalf("AndNotCount(subset) = %d, want 0", got)
+	}
+	// Count recovery identity used by the estimator fast path.
+	if s.Count() != s.AndCount(u)+s.AndNotCount(u) {
+		t.Fatal("count != AndCount + AndNotCount")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	s.AndNotCount(New(100))
+}
+
+func TestAndOrExactAllocation(t *testing.T) {
+	s := New(130) // 3 words, 2 tail bits
+	u := New(130)
+	s.Set(0)
+	s.Set(129)
+	u.Set(129)
+	and := s.And(u)
+	or := s.Or(u)
+	if and.Len() != 130 || or.Len() != 130 {
+		t.Fatalf("result lengths %d/%d, want 130", and.Len(), or.Len())
+	}
+	if and.Words() != s.Words() || or.Words() != s.Words() {
+		t.Fatalf("result words %d/%d, want %d", and.Words(), or.Words(), s.Words())
+	}
+	if and.Count() != 1 || !and.Test(129) {
+		t.Fatalf("AND wrong: %v", and)
+	}
+	if or.Count() != 2 || !or.Test(0) || !or.Test(129) {
+		t.Fatalf("OR wrong: %v", or)
+	}
+}

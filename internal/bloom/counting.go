@@ -20,18 +20,16 @@ import (
 // elements, as long as Remove is only called for previously Added
 // elements).
 type CountingFilter struct {
-	counts  []uint8
-	fam     hashfam.Family
-	n       uint64 // live insertions (Add minus Remove)
-	scratch []uint64
+	counts []uint8
+	fam    hashfam.Family
+	n      uint64 // live insertions (Add minus Remove)
 }
 
 // NewCounting returns an empty counting filter for the family.
 func NewCounting(fam hashfam.Family) *CountingFilter {
 	return &CountingFilter{
-		counts:  make([]uint8, fam.M()),
-		fam:     fam,
-		scratch: make([]uint64, 0, fam.K()),
+		counts: make([]uint8, fam.M()),
+		fam:    fam,
 	}
 }
 
@@ -45,14 +43,16 @@ func (c *CountingFilter) K() int { return c.fam.K() }
 // Remove calls).
 func (c *CountingFilter) Live() uint64 { return c.n }
 
-// Add inserts x.
+// Add inserts x. Add mutates the filter; callers must serialize it against
+// concurrent readers and writers.
 func (c *CountingFilter) Add(x uint64) {
-	c.scratch = c.fam.Positions(x, c.scratch[:0])
-	for _, p := range c.scratch {
+	bp, pos := getPositions(c.fam, x)
+	for _, p := range pos {
 		if c.counts[p] != 255 {
 			c.counts[p]++
 		}
 	}
+	putPositions(bp, pos)
 	c.n++
 }
 
@@ -60,13 +60,14 @@ func (c *CountingFilter) Add(x uint64) {
 // not currently a positive (removing a never-added element would corrupt
 // other elements' counters).
 func (c *CountingFilter) Remove(x uint64) error {
-	c.scratch = c.fam.Positions(x, c.scratch[:0])
-	for _, p := range c.scratch {
+	bp, pos := getPositions(c.fam, x)
+	defer putPositions(bp, pos)
+	for _, p := range pos {
 		if c.counts[p] == 0 {
 			return fmt.Errorf("bloom: remove of non-member %d", x)
 		}
 	}
-	for _, p := range c.scratch {
+	for _, p := range pos {
 		if c.counts[p] != 255 { // saturated counters are pinned
 			c.counts[p]--
 		}
@@ -77,15 +78,19 @@ func (c *CountingFilter) Remove(x uint64) error {
 	return nil
 }
 
-// Contains reports whether x is a (possibly false) positive.
+// Contains reports whether x is a (possibly false) positive. Contains is
+// read-only and safe for unsynchronized concurrent callers.
 func (c *CountingFilter) Contains(x uint64) bool {
-	c.scratch = c.fam.Positions(x, c.scratch[:0])
-	for _, p := range c.scratch {
+	bp, pos := getPositions(c.fam, x)
+	ok := true
+	for _, p := range pos {
 		if c.counts[p] == 0 {
-			return false
+			ok = false
+			break
 		}
 	}
-	return true
+	putPositions(bp, pos)
+	return ok
 }
 
 // Snapshot projects the counting filter onto a plain Filter (counter > 0

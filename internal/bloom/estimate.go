@@ -96,9 +96,23 @@ func EstimateIntersection(m uint64, k int, t1, t2, tand uint64) float64 {
 }
 
 // EstimateIntersectionOf computes EstimateIntersection directly from two
-// filters, without materializing their AND.
+// filters, without materializing their AND. It is read-only on both
+// filters and safe for unsynchronized concurrent callers.
+//
+// Fast path: the AND popcount is computed first, and a zero AND — the
+// common case at the sparse lower levels of a BloomSampleTree descent —
+// returns 0 after a single pass over the words. Otherwise the individual
+// set-bit counts are recovered from the AND count plus one AndNotCount
+// pass per side (t = t∧ + |s AND NOT t|), never touching the bit vectors
+// more than three times in total.
 func EstimateIntersectionOf(a, b *Filter) float64 {
-	return EstimateIntersection(a.M(), a.K(), a.SetBits(), b.SetBits(), a.IntersectionSetBits(b))
+	tand := a.bits.AndCount(b.bits)
+	if tand == 0 {
+		return 0
+	}
+	t1 := tand + a.bits.AndNotCount(b.bits)
+	t2 := tand + b.bits.AndNotCount(a.bits)
+	return EstimateIntersection(a.M(), a.K(), t1, t2, tand)
 }
 
 // Accuracy returns the paper's accuracy measure (§5.4)

@@ -10,6 +10,7 @@ package bloom
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/hashfam"
@@ -19,28 +20,55 @@ import (
 // that are unioned, intersected, or served by a common BloomSampleTree must
 // share the same length m and hash family H (§3.1, §5.1); Compatible checks
 // this.
+//
+// Query-side operations (Contains, SetBits, IntersectionSetBits,
+// EstimateCardinality, EstimateIntersectionOf, …) are read-only on the
+// filter and safe for unsynchronized concurrent callers; position buffers
+// are drawn from a shared pool rather than stored per instance. Mutating
+// operations (Add, UnionWith, Reset) require external synchronization
+// against both writers and readers.
 type Filter struct {
-	bits    *bitset.Set
-	fam     hashfam.Family
-	n       uint64 // number of Add calls (insertions, not distinct elements)
-	scratch []uint64
+	bits *bitset.Set
+	fam  hashfam.Family
+	n    uint64 // number of Add calls (insertions, not distinct elements)
+}
+
+// posBuf pools hash-position buffers so that hashing an element allocates
+// nothing per call without the filter owning mutable scratch state. Buffers
+// grow to the largest K seen and are reused across all filters and
+// goroutines.
+var posBuf = sync.Pool{New: func() any { s := make([]uint64, 0, 16); return &s }}
+
+// getPositions hashes x with fam into a pooled buffer. The caller must
+// return the buffer with putPositions and not retain the slice afterwards.
+func getPositions(fam hashfam.Family, x uint64) (*[]uint64, []uint64) {
+	bp := posBuf.Get().(*[]uint64)
+	pos := fam.Positions(x, (*bp)[:0])
+	return bp, pos
+}
+
+// putPositions recycles a buffer obtained from getPositions, keeping any
+// growth append may have performed.
+func putPositions(bp *[]uint64, pos []uint64) {
+	*bp = pos[:0]
+	posBuf.Put(bp)
 }
 
 // New returns an empty filter using the given family; the filter length is
 // the family's range M().
 func New(fam hashfam.Family) *Filter {
 	return &Filter{
-		bits:    bitset.New(fam.M()),
-		fam:     fam,
-		scratch: make([]uint64, 0, fam.K()),
+		bits: bitset.New(fam.M()),
+		fam:  fam,
 	}
 }
 
 // NewFromElements builds a filter containing every element of xs.
 func NewFromElements(fam hashfam.Family, xs []uint64) *Filter {
 	f := New(fam)
+	var buf []uint64
 	for _, x := range xs {
-		f.Add(x)
+		buf = f.AddScratch(x, buf)
 	}
 	return f
 }
@@ -60,25 +88,62 @@ func (f *Filter) Family() hashfam.Family { return f.fam }
 // unknowable — use EstimateCardinality for those.
 func (f *Filter) Insertions() uint64 { return f.n }
 
-// Add inserts x into the filter.
+// Add inserts x into the filter. Add mutates the filter; callers must
+// serialize it against concurrent readers and writers.
 func (f *Filter) Add(x uint64) {
-	f.scratch = f.fam.Positions(x, f.scratch[:0])
-	for _, p := range f.scratch {
+	bp, pos := getPositions(f.fam, x)
+	for _, p := range pos {
 		f.bits.Set(p)
 	}
+	putPositions(bp, pos)
 	f.n++
 }
 
+// AddScratch is Add with a caller-owned scratch buffer: hash positions
+// are appended into buf (reusing its capacity) and the possibly grown
+// buffer is returned, so bulk-insert loops (tree construction, database
+// ingest) skip the pool round trip per element. Like Add it mutates the
+// filter and requires external synchronization.
+func (f *Filter) AddScratch(x uint64, buf []uint64) []uint64 {
+	buf = f.fam.Positions(x, buf[:0])
+	for _, p := range buf {
+		f.bits.Set(p)
+	}
+	f.n++
+	return buf
+}
+
 // Contains reports whether x is a (possibly false) positive of the filter.
-// A Bloom filter never yields false negatives.
+// A Bloom filter never yields false negatives. Contains is read-only and
+// safe for unsynchronized concurrent callers.
 func (f *Filter) Contains(x uint64) bool {
-	f.scratch = f.fam.Positions(x, f.scratch[:0])
-	for _, p := range f.scratch {
+	bp, pos := getPositions(f.fam, x)
+	ok := true
+	for _, p := range pos {
 		if !f.bits.Test(p) {
-			return false
+			ok = false
+			break
 		}
 	}
-	return true
+	putPositions(bp, pos)
+	return ok
+}
+
+// ContainsScratch is Contains with a caller-owned scratch buffer: hash
+// positions are appended into buf (reusing its capacity) and the possibly
+// grown buffer is returned alongside the verdict. Hot loops that probe
+// many elements against one filter (tree leaf scans, the dictionary-
+// attack baseline) use it to amortize a single buffer across the whole
+// scan instead of paying a pool round trip per element. Safe for
+// concurrent callers as long as each owns its buf.
+func (f *Filter) ContainsScratch(x uint64, buf []uint64) (bool, []uint64) {
+	buf = f.fam.Positions(x, buf[:0])
+	for _, p := range buf {
+		if !f.bits.Test(p) {
+			return false, buf
+		}
+	}
+	return true, buf
 }
 
 // SetBits returns the number of 1 bits (t in the paper's estimators).
@@ -98,7 +163,7 @@ func (f *Filter) Reset() {
 
 // Clone returns a deep copy of the filter (sharing the immutable family).
 func (f *Filter) Clone() *Filter {
-	return &Filter{bits: f.bits.Clone(), fam: f.fam, n: f.n, scratch: make([]uint64, 0, f.fam.K())}
+	return &Filter{bits: f.bits.Clone(), fam: f.fam, n: f.n}
 }
 
 // Equal reports whether two filters have identical bit vectors and
@@ -112,12 +177,18 @@ var ErrIncompatible = errors.New("bloom: incompatible filters")
 
 // Compatible returns nil if g uses the same m, k, family kind and seed as
 // f, and a descriptive error otherwise.
-func (f *Filter) Compatible(g *Filter) error {
-	if f.M() != g.M() || f.K() != g.K() ||
-		f.fam.Kind() != g.fam.Kind() || f.fam.Seed() != g.fam.Seed() {
+func (f *Filter) Compatible(g *Filter) error { return f.MatchesFamily(g.fam) }
+
+// MatchesFamily returns nil if the filter was built with parameters equal
+// to fam's (m, k, kind, seed), and a descriptive error otherwise. It is the
+// allocation-free form of Compatible for callers that hold a family rather
+// than a second filter (the BloomSampleTree query check).
+func (f *Filter) MatchesFamily(fam hashfam.Family) error {
+	if f.M() != fam.M() || f.K() != fam.K() ||
+		f.fam.Kind() != fam.Kind() || f.fam.Seed() != fam.Seed() {
 		return fmt.Errorf("%w: (m=%d,k=%d,%s,seed=%d) vs (m=%d,k=%d,%s,seed=%d)",
 			ErrIncompatible, f.M(), f.K(), f.fam.Kind(), f.fam.Seed(),
-			g.M(), g.K(), g.fam.Kind(), g.fam.Seed())
+			fam.M(), fam.K(), fam.Kind(), fam.Seed())
 	}
 	return nil
 }
@@ -128,8 +199,7 @@ func (f *Filter) Union(g *Filter) (*Filter, error) {
 	if err := f.Compatible(g); err != nil {
 		return nil, err
 	}
-	return &Filter{bits: f.bits.Or(g.bits), fam: f.fam, n: f.n + g.n,
-		scratch: make([]uint64, 0, f.fam.K())}, nil
+	return &Filter{bits: f.bits.Or(g.bits), fam: f.fam, n: f.n + g.n}, nil
 }
 
 // Intersect returns a new filter that is the bitwise AND of f and g, the
@@ -139,8 +209,7 @@ func (f *Filter) Intersect(g *Filter) (*Filter, error) {
 	if err := f.Compatible(g); err != nil {
 		return nil, err
 	}
-	return &Filter{bits: f.bits.And(g.bits), fam: f.fam,
-		scratch: make([]uint64, 0, f.fam.K())}, nil
+	return &Filter{bits: f.bits.And(g.bits), fam: f.fam}, nil
 }
 
 // UnionWith ORs g into f in place. It returns an error if incompatible.
@@ -154,7 +223,8 @@ func (f *Filter) UnionWith(g *Filter) error {
 }
 
 // IntersectionSetBits returns popcount(f AND g) — t∧ in the intersection
-// estimator — without materializing the intersection.
+// estimator — without materializing the intersection. It is read-only and
+// safe for unsynchronized concurrent callers.
 func (f *Filter) IntersectionSetBits(g *Filter) uint64 { return f.bits.AndCount(g.bits) }
 
 // IntersectsAny reports whether f AND g has any set bit.
@@ -185,5 +255,5 @@ func NewFromBits(fam hashfam.Family, bits *bitset.Set) *Filter {
 	if bits.Len() != fam.M() {
 		panic(fmt.Sprintf("bloom: bit vector has %d bits, family expects %d", bits.Len(), fam.M()))
 	}
-	return &Filter{bits: bits, fam: fam, scratch: make([]uint64, 0, fam.K())}
+	return &Filter{bits: bits, fam: fam}
 }

@@ -3,6 +3,7 @@ package bloom
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -455,5 +456,84 @@ func BenchmarkEstimateIntersectionOf(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = EstimateIntersectionOf(x, y)
+	}
+}
+
+// TestContainsConcurrent is the data-race regression test for the
+// scratch-buffer removal: a single Filter must serve unsynchronized
+// concurrent Contains / estimator calls (run under -race).
+func TestContainsConcurrent(t *testing.T) {
+	fm := fam(t, 60870)
+	f := New(fm)
+	g := New(fm)
+	for i := 0; i < 2000; i++ {
+		f.Add(uint64(i))
+		g.Add(uint64(i + 1000))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				x := uint64((w*5000 + i) % 4000)
+				got := f.Contains(x)
+				if x < 2000 && !got {
+					t.Errorf("false negative for %d", x)
+					return
+				}
+				if i%100 == 0 {
+					EstimateIntersectionOf(f, g)
+					f.IntersectionSetBits(g)
+					f.EstimateCardinality()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCountingContainsConcurrent covers the counting filter's shared
+// read path the same way.
+func TestCountingContainsConcurrent(t *testing.T) {
+	c := NewCounting(fam(t, 60870))
+	for i := 0; i < 1000; i++ {
+		c.Add(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				x := uint64((w*3000 + i) % 2000)
+				if x < 1000 && !c.Contains(x) {
+					t.Errorf("false negative for %d", x)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestEstimateIntersectionOfMatchesSlowPath pins the AndNotCount fast
+// path to the definitional three-count computation.
+func TestEstimateIntersectionOfMatchesSlowPath(t *testing.T) {
+	fm := fam(t, 60870)
+	a := New(fm)
+	b := New(fm)
+	for i := 0; i < 800; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 400))
+	}
+	want := EstimateIntersection(a.M(), a.K(), a.SetBits(), b.SetBits(), a.IntersectionSetBits(b))
+	got := EstimateIntersectionOf(a, b)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fast path %v != slow path %v", got, want)
+	}
+	empty := New(fm)
+	if est := EstimateIntersectionOf(a, empty); est != 0 {
+		t.Fatalf("estimate vs empty filter = %v, want 0", est)
 	}
 }

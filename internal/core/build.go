@@ -65,8 +65,9 @@ func (t *Tree) buildFull(lo, hi uint64, depth int) *node {
 	t.nodes++
 	if depth == 0 || hi-lo <= 1 {
 		n.f = bloom.New(t.fam)
+		var buf []uint64
 		for x := lo; x < hi; x++ {
-			n.f.Add(x)
+			buf = n.f.AddScratch(x, buf)
 		}
 		return n
 	}

@@ -104,8 +104,12 @@ func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 	}
 	var chosen uint64
 	count := 0
+	var buf [maxScratchK]uint64
+	scratch := buf[:0]
 	for x := n.lo; x < n.hi; x++ {
-		if q.Contains(x) {
+		var hit bool
+		hit, scratch = q.ContainsScratch(x, scratch)
+		if hit {
 			count++
 			if rng.Intn(count) == 0 {
 				chosen = x
@@ -115,6 +119,10 @@ func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 	return chosen, count > 0
 }
 
+// maxScratchK sizes the stack scratch for leaf scans; families with more
+// hash functions than this just grow the buffer once per scan.
+const maxScratchK = 16
+
 // positivesInLeaf collects every element of the leaf range answering
 // positively, appending to out.
 func (t *Tree) positivesInLeaf(n *node, q *bloom.Filter, ops *Ops, out []uint64) []uint64 {
@@ -122,8 +130,12 @@ func (t *Tree) positivesInLeaf(n *node, q *bloom.Filter, ops *Ops, out []uint64)
 		ops.LeavesScanned++
 		ops.Memberships += n.hi - n.lo
 	}
+	var buf [maxScratchK]uint64
+	scratch := buf[:0]
 	for x := n.lo; x < n.hi; x++ {
-		if q.Contains(x) {
+		var hit bool
+		hit, scratch = q.ContainsScratch(x, scratch)
+		if hit {
 			out = append(out, x)
 		}
 	}

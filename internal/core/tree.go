@@ -91,10 +91,13 @@ func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
 // elements of its range (full tree) or the occupied elements of its range
 // (pruned tree). Build once, query many times (§5).
 //
-// Tree is safe for concurrent sampling and reconstruction provided each
-// goroutine uses its own query Filter and rand source (a Filter reuses an
-// internal hash buffer per instance); dynamic Insert must not race with
-// queries.
+// Sample, SampleN, Reconstruct and EstimateSetSize are read-only on the
+// tree and on the query filter, so any number of goroutines may call them
+// concurrently — even sharing a single query Filter — as long as each
+// goroutine owns its rand source and Ops accumulator. The only mutating
+// operation is Insert (pruned trees): it must be externally serialized
+// against queries and other Inserts (setdb.DB does this with a tree-level
+// RWMutex).
 type Tree struct {
 	cfg    Config
 	fam    hashfam.Family
@@ -146,10 +149,11 @@ func (t *Tree) MemoryBytes() uint64 {
 // (same m, k, family and seed), ready to receive a query set.
 func (t *Tree) NewQueryFilter() *bloom.Filter { return bloom.New(t.fam) }
 
-// checkQuery validates that q was built with the tree's parameters.
+// checkQuery validates that q was built with the tree's parameters. It
+// compares parameters directly (no probe filter is allocated), so it is
+// free on the per-query hot path.
 func (t *Tree) checkQuery(q *bloom.Filter) error {
-	probe := bloom.New(t.fam)
-	return probe.Compatible(q)
+	return q.MatchesFamily(t.fam)
 }
 
 // Ops counts the operations a sampling or reconstruction call performed;

@@ -33,6 +33,12 @@ import (
 // even where the estimator is pure noise, and the tracked probability is
 // exact; there is no backtracking — a failed leaf is a rejection, and the
 // sampler retries from the root.
+//
+// A UniformSampler instance is NOT safe for concurrent use: the
+// self-calibration mutates SafetyFactor and the rejection statistics.
+// The tree and query filter it reads are never mutated, so concurrent
+// callers should create one sampler per goroutine over the same tree and
+// filter.
 type UniformSampler struct {
 	t    *Tree
 	q    *bloom.Filter
@@ -163,8 +169,12 @@ func (s *UniformSampler) descend(rng *rand.Rand, ops *Ops) (uint64, bool) {
 		ops.LeavesScanned++
 		ops.Memberships += n.hi - n.lo
 	}
+	var buf [maxScratchK]uint64
+	scratch := buf[:0]
 	for x := n.lo; x < n.hi; x++ {
-		if s.q.Contains(x) {
+		var hit bool
+		hit, scratch = s.q.ContainsScratch(x, scratch)
+		if hit {
 			count++
 			if rng.Intn(count) == 0 {
 				chosen = x

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/setdb"
+)
+
+// RunConcurrency measures the lock-free read path: sampled-per-second
+// from one SetDB key as the number of sampling goroutines grows. Before
+// the refactor every Sample took the database's exclusive lock, so the
+// curve was flat (or worse, due to contention); with immutable filter
+// reads and sharded read locks the throughput should scale with cores
+// until the memory bus saturates. The speedup column is relative to one
+// goroutine.
+func RunConcurrency(c Config) ([]*Table, error) {
+	M := smallestNamespace(c)
+	n := c.SetSizes[len(c.SetSizes)-1]
+	opts, err := setdb.PlanOptions(0.9, uint64(n), M, c.K)
+	if err != nil {
+		return nil, err
+	}
+	opts.HashKind = c.HashKind
+	opts.Seed = c.Seed
+	db, err := setdb.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := c.querySet(c.rng(101), M, n, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Add("bench", set...); err != nil {
+		return nil, err
+	}
+
+	samples := c.Rounds * 10
+	tbl := &Table{
+		ID:    "concurrency",
+		Title: fmt.Sprintf("SetDB parallel sampling throughput (M=%d, n=%d, GOMAXPROCS=%d)", M, n, runtime.GOMAXPROCS(0)),
+		Columns: []string{
+			"goroutines", "samples", "elapsed_ms", "samples_per_sec", "speedup",
+		},
+	}
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		start := time.Now()
+		got, err := db.SampleManyWorkers("bench", samples, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		perSec := float64(len(got)) / elapsed.Seconds()
+		if workers == 1 {
+			base = perSec
+		}
+		tbl.Add(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%d", len(got)),
+			fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%.2fx", perSec/base),
+		)
+	}
+	return []*Table{tbl}, nil
+}

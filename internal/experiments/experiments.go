@@ -200,6 +200,7 @@ func Registry() map[string]Runner {
 		"abl-multisample": RunAblationMultiSample,
 		"abl-build":       RunAblationBuild,
 		"abl-hashinvert":  RunAblationHashInvert,
+		"concurrency":     RunConcurrency,
 	}
 }
 
@@ -212,6 +213,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
+		"concurrency",
 	}
 }
 

@@ -1,0 +1,267 @@
+package setdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentReadWriteMix hammers one database with a parallel mix of
+// Sample, SampleN, Contains, Reconstruct, IntersectionEstimate, Add and
+// Delete (on a dedicated churn key, so the stable keys stay countable).
+// Run under -race this is the regression test for the lock-free read
+// path: stored filters and the tree must never be mutated by query-side
+// operations.
+func TestConcurrentReadWriteMix(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, k := range keys {
+		for j := 0; j < 16; j++ {
+			if err := db.Add(k, uint64(i*10_000+j*100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const churnKey = "victim"
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 35; i++ {
+				key := keys[rng.Intn(len(keys))]
+				switch i % 8 {
+				case 0:
+					db.Sample(key, rng, nil)
+				case 1:
+					db.SampleN(key, 4, true, rng, nil)
+				case 2:
+					db.Contains(key, uint64(rng.Intn(1_000_000)))
+				case 3:
+					db.Reconstruct(key, core.PruneByEstimate, nil)
+				case 4:
+					db.IntersectionEstimate(key, keys[rng.Intn(len(keys))])
+				case 5:
+					db.Add(key, uint64(rng.Intn(1_000_000)))
+				case 6:
+					db.Keys()
+					db.Len()
+				case 7:
+					// Create/read/delete churn racing the read path.
+					db.Add(churnKey, uint64(rng.Intn(1_000_000)))
+					db.Sample(churnKey, rng, nil)
+					db.Delete(churnKey)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := db.Len(); n != len(keys) && n != len(keys)+1 {
+		t.Fatalf("Len = %d, want %d or %d", n, len(keys), len(keys)+1)
+	}
+	for _, k := range keys {
+		if db.Filter(k) == nil {
+			t.Fatalf("stable key %q lost", k)
+		}
+	}
+}
+
+// TestConcurrentPrunedGrowth checks that pruned-tree growth (Add) is
+// correctly serialized against concurrent sampling via the tree gate.
+func TestConcurrentPrunedGrowth(t *testing.T) {
+	db, err := Open(testOptions(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("seedset", 1, 500_000, 999_999); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			us, err := db.UniformSampler("seedset")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 40; i++ {
+				if g%2 == 0 {
+					db.Add("seedset", uint64(rng.Intn(1_000_000)))
+				} else {
+					db.Sample("seedset", rng, nil)
+					db.Reconstruct("seedset", core.PruneByAndBits, nil)
+					if i%8 == 0 {
+						// Sampler draws must stay gated against tree growth.
+						us.Sample(rng, nil)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDynamicMix mixes dynamic-set mutation with snapshots and
+// sampling under -race.
+func TestConcurrentDynamicMix(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDynamic("dyn", 10, 20, 30, 40, 50); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 30; i++ {
+				switch i % 4 {
+				case 0:
+					db.AddDynamic("dyn", uint64(100+g*1000+i))
+				case 1:
+					db.ContainsDynamic("dyn", uint64(rng.Intn(1000)))
+				case 2:
+					db.SampleDynamic("dyn", rng, nil)
+				case 3:
+					db.DynamicKeys()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSampleMany(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []uint64{7, 1_000, 99_999, 500_000, 999_998}
+	if err := db.Add("s", members...); err != nil {
+		t.Fatal(err)
+	}
+	var ops core.Ops
+	got, err := db.SampleManyWorkers("s", 200, 4, &ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) > 200 {
+		t.Fatalf("SampleMany returned %d samples, want 1..200", len(got))
+	}
+	for _, x := range got {
+		if ok, _ := db.Contains("s", x); !ok {
+			t.Fatalf("sample %d not a positive of the set", x)
+		}
+	}
+	if ops.NodesVisited == 0 {
+		t.Fatal("Ops not accumulated across workers")
+	}
+	if _, err := db.SampleMany("absent", 5); err == nil {
+		t.Fatal("missing key accepted by SampleMany")
+	}
+	if got, err := db.SampleMany("s", 0); err != nil || got != nil {
+		t.Fatalf("SampleMany(0) = %v, %v", got, err)
+	}
+}
+
+func TestReconstructAll(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]uint64{
+		"odds":  {1, 3, 5},
+		"evens": {2, 4, 6},
+		"big":   {999_999},
+	}
+	for k, ids := range want {
+		if err := db.Add(k, ids...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.ReconstructAll(core.PruneByAndBits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReconstructAll returned %d sets, want %d", len(got), len(want))
+	}
+	for k, ids := range want {
+		found := map[uint64]bool{}
+		for _, x := range got[k] {
+			found[x] = true
+		}
+		for _, id := range ids {
+			if !found[id] {
+				t.Fatalf("set %q: reconstruction missing %d", k, id)
+			}
+		}
+	}
+
+	empty, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := empty.ReconstructAll(core.PruneByEstimate, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty ReconstructAll = %v, %v", got, err)
+	}
+}
+
+// TestShardDistribution sanity-checks that the FNV sharding actually
+// spreads keys over multiple shards (a constant shardIndex would silently
+// serialize all writers again).
+func TestShardDistribution(t *testing.T) {
+	used := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		used[shardIndex(string(rune('a'+i%26))+string(rune('0'+i%10)))] = true
+	}
+	if len(used) < numShards/2 {
+		t.Fatalf("only %d of %d shards used by 256 keys", len(used), numShards)
+	}
+}
+
+// TestSamplerInvalidatedByDelete pins the Sampler detachment rule: after
+// its key is deleted (or deleted and re-added), draws must fail loudly
+// instead of silently serving the old set version.
+func TestSamplerInvalidatedByDelete(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add("s", 10, 20, 30, 40)
+	us, err := db.UniformSampler("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := us.Sample(rng, nil); err != nil {
+		t.Fatalf("fresh sampler: %v", err)
+	}
+	db.Delete("s")
+	if _, err := us.Sample(rng, nil); err != ErrSamplerInvalid {
+		t.Fatalf("after Delete: err = %v, want ErrSamplerInvalid", err)
+	}
+	db.Add("s", 99)
+	if _, err := us.Sample(rng, nil); err != ErrSamplerInvalid {
+		t.Fatalf("after re-Add: err = %v, want ErrSamplerInvalid", err)
+	}
+	us2, err := db.UniformSampler("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := us2.Sample(rng, nil); err != nil {
+		t.Fatalf("rebuilt sampler: %v", err)
+	}
+}

@@ -17,32 +17,38 @@ import (
 //
 // Dynamic sets live in a separate key space from plain sets (a key is
 // either plain or dynamic; mixing is an error) and cost 8× the filter
-// memory.
+// memory. They shard with the plain sets: a key's plain and dynamic
+// entries always share one lock.
 
 // AddDynamic inserts ids into the dynamic (deletable) set under key,
 // creating it on first use.
 func (db *DB) AddDynamic(key string, ids ...uint64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, clash := db.sets[key]; clash {
-		return fmt.Errorf("setdb: %q already exists as a plain set", key)
-	}
 	for _, id := range ids {
 		if id >= db.opts.Namespace {
 			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
 		}
 	}
-	if db.dynamic == nil {
-		db.dynamic = map[string]*bloom.CountingFilter{}
+	s := db.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, clash := s.sets[key]; clash {
+		return fmt.Errorf("setdb: %q already exists as a plain set", key)
 	}
-	c, ok := db.dynamic[key]
+	if s.dynamic == nil {
+		s.dynamic = map[string]*bloom.CountingFilter{}
+	}
+	c, ok := s.dynamic[key]
 	if !ok {
 		c = bloom.NewCounting(db.fam)
-		db.dynamic[key] = c
+		s.dynamic[key] = c
 	}
 	for _, id := range ids {
 		c.Add(id)
-		if db.opts.Pruned {
+	}
+	if db.opts.Pruned {
+		db.treeMu.Lock()
+		defer db.treeMu.Unlock()
+		for _, id := range ids {
 			if err := db.tree.Insert(id); err != nil {
 				return err
 			}
@@ -57,11 +63,12 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 // range — tree occupancy is monotone — which affects only performance,
 // not correctness.)
 func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	c, ok := db.dynamic[key]
+	s := db.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.dynamic[key]
 	if !ok {
-		return fmt.Errorf("setdb: no dynamic set %q", key)
+		return fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
 	for _, id := range ids {
 		if err := c.Remove(id); err != nil {
@@ -73,36 +80,41 @@ func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
 
 // ContainsDynamic reports membership in the dynamic set under key.
 func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	c, ok := db.dynamic[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.dynamic[key]
 	if !ok {
-		return false, fmt.Errorf("setdb: no dynamic set %q", key)
+		return false, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
 	return c.Contains(id), nil
 }
 
 // SnapshotDynamic returns a point-in-time plain filter of the dynamic
-// set, compatible with the shared tree (and with every plain set).
+// set, compatible with the shared tree (and with every plain set). The
+// snapshot is private to the caller.
 func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	c, ok := db.dynamic[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.dynamic[key]
 	if !ok {
-		return nil, fmt.Errorf("setdb: no dynamic set %q", key)
+		return nil, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
 	return c.Snapshot(), nil
 }
 
 // SampleDynamic draws one element from the current state of the dynamic
-// set under key.
+// set under key. The snapshot is taken under the shard lock; the tree
+// query then runs lock-free against the private snapshot (read-gated on
+// pruned databases).
 func (db *DB) SampleDynamic(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
 	snap, err := db.SnapshotDynamic(key)
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.rlockTree()
+	defer db.runlockTree()
 	return db.tree.Sample(snap, rng, ops)
 }
 
@@ -113,18 +125,21 @@ func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.rlockTree()
+	defer db.runlockTree()
 	return db.tree.Reconstruct(snap, rule, ops)
 }
 
 // DynamicKeys returns the dynamic set keys in sorted order.
 func (db *DB) DynamicKeys() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.dynamic))
-	for k := range db.dynamic {
-		keys = append(keys, k)
+	var keys []string
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for k := range s.dynamic {
+			keys = append(keys, k)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys

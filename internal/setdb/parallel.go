@@ -1,0 +1,172 @@
+package setdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Batch read APIs. These exploit the lock-free read path: stored filters
+// and the tree are never mutated by queries, so the workers below run
+// genuinely in parallel, each with its own rand source and Ops
+// accumulator, all sharing the same stored filter.
+
+// SampleMany draws n samples from the set under key using up to
+// GOMAXPROCS goroutines. The samples follow the same per-sample
+// distribution as n repeated Sample calls; their order is unspecified.
+// Fewer than n results means some descents ended on false-positive paths
+// (the per-call ErrNoSample); an empty result for a present key is
+// possible only for an (almost) empty filter. A missing key returns an
+// error wrapping ErrNoSet; any other tree error aborts the batch and is
+// returned alongside the samples drawn so far.
+func (db *DB) SampleMany(key string, n int) ([]uint64, error) {
+	return db.SampleManyWorkers(key, n, 0, nil)
+}
+
+// SampleManyWorkers is SampleMany with an explicit worker count (0 means
+// GOMAXPROCS) and an optional Ops accumulator that receives the summed
+// operation counts of all workers.
+func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]uint64, error) {
+	// Snapshot the stored filter under a brief shard read lock, then
+	// release it: the workers sample the private clone, so a long batch
+	// never pins the shard (a queued writer would otherwise stall every
+	// other reader of the shard for the batch's duration). The clone also
+	// gives the batch a consistent view — concurrent Adds to the key
+	// apply to the next batch, not halfway through this one. A missing
+	// key errors even for n <= 0, so the batch API always validates key
+	// existence.
+	s := db.shardOf(key)
+	s.mu.RLock()
+	stored, ok := s.sets[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
+	}
+	if n <= 0 {
+		s.mu.RUnlock()
+		return nil, nil
+	}
+	f := stored.Clone()
+	s.mu.RUnlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type result struct {
+		xs  []uint64
+		ops core.Ops
+		err error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := n / workers
+		if w < n%workers {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			res := &results[w]
+			var wops *core.Ops
+			if ops != nil {
+				wops = &res.ops
+			}
+			for i := 0; i < quota; i++ {
+				// Take the pruned-tree gate per draw, not per batch:
+				// samples need no cross-draw tree consistency, and a
+				// long-held read gate would stall writers (and, through
+				// Go's writer-pending RWMutex semantics, all other
+				// readers) for the batch's whole duration.
+				db.rlockTree()
+				x, err := db.tree.Sample(f, rng, wops)
+				db.runlockTree()
+				if err == core.ErrNoSample {
+					continue // a false-positive path; try the next draw
+				}
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.xs = append(res.xs, x)
+			}
+		}(w, quota, rand.Int63())
+	}
+	wg.Wait()
+
+	out := make([]uint64, 0, n)
+	var firstErr error
+	for i := range results {
+		out = append(out, results[i].xs...)
+		if ops != nil {
+			ops.Add(results[i].ops)
+		}
+		if firstErr == nil {
+			firstErr = results[i].err
+		}
+	}
+	return out, firstErr
+}
+
+// ReconstructAll reconstructs every plain set in the database using up to
+// workers goroutines (0 means GOMAXPROCS), returning key → reconstructed
+// set. Keys deleted while the scan runs are silently skipped. Each
+// reconstruction is read-only, so the workers proceed without serializing
+// against concurrent samplers.
+func (db *DB) ReconstructAll(rule core.PruneRule, workers int) (map[string][]uint64, error) {
+	keys := db.Keys()
+	if len(keys) == 0 {
+		return map[string][]uint64{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+
+	var (
+		mu       sync.Mutex
+		out      = make(map[string][]uint64, len(keys))
+		next     = make(chan string)
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range next {
+				set, rerr := db.Reconstruct(key, rule, nil)
+				if errors.Is(rerr, ErrNoSet) {
+					continue // key deleted mid-scan
+				}
+				if rerr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				out[key] = set
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, key := range keys {
+		next <- key
+	}
+	close(next)
+	wg.Wait()
+	return out, firstErr
+}

@@ -14,6 +14,7 @@ package setdb
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -73,21 +74,60 @@ func PlanOptions(accuracy float64, designSetSize, namespace uint64, k int) (Opti
 	}, nil
 }
 
+// ErrNoSet is wrapped by the error every query operation returns for an
+// absent key; match it with errors.Is.
+var ErrNoSet = errors.New("setdb: no set")
+
+// numShards is the number of key shards the set maps are split across.
+// Writers to different shards never contend; the count is an internal
+// constant (not persisted) sized so that even write-heavy workloads on a
+// many-core machine rarely collide.
+const numShards = 16
+
+// shard is one slice of the key space, with its own lock. Plain and
+// dynamic sets for a key always live in the same shard, so the
+// plain/dynamic clash check needs only one lock.
+type shard struct {
+	mu      sync.RWMutex
+	sets    map[string]*bloom.Filter
+	dynamic map[string]*bloom.CountingFilter
+}
+
+// shardIndex maps a key to its shard with FNV-1a.
+func shardIndex(key string) int {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return int(h % numShards)
+}
+
 // DB is a keyed collection of Bloom-filter-encoded sets over one shared
 // namespace and one shared BloomSampleTree.
 //
-// DB is safe for concurrent use. Operations that evaluate a stored
-// filter (Sample, Reconstruct, Contains, …) take the exclusive lock even
-// though they are logically reads, because Filter reuses an internal
-// hash-position buffer per instance; metadata reads (Len, Keys, Options)
-// share the lock. Shard across DBs for read parallelism.
+// DB is safe for concurrent use, and the query path is genuinely
+// parallel: every operation that evaluates a stored filter (Sample,
+// SampleN, Reconstruct, Contains, IntersectionEstimate, …) is read-only
+// on shared state and takes only a read lock, so any number of goroutines
+// can sample — even from the same key — simultaneously. Keys are sharded
+// across independently locked maps, so writers to different keys don't
+// serialize against each other either; a writer blocks readers only of
+// its own shard. On a pruned database, Add also grows the shared tree
+// under a tree-level write lock, briefly excluding queries.
+//
+// SampleMany and ReconstructAll (parallel.go) exploit these guarantees
+// with internal worker pools.
 type DB struct {
-	mu      sync.RWMutex
-	opts    Options
-	fam     hashfam.Family
-	tree    *core.Tree
-	sets    map[string]*bloom.Filter
-	dynamic map[string]*bloom.CountingFilter
+	opts   Options
+	fam    hashfam.Family
+	tree   *core.Tree
+	treeMu sync.RWMutex // serializes pruned-tree growth against queries
+	shards [numShards]shard
 }
 
 // Open creates an empty database with the given options.
@@ -124,29 +164,62 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{opts: opts, fam: fam, tree: tree, sets: map[string]*bloom.Filter{}}, nil
+	db := &DB{opts: opts, fam: fam, tree: tree}
+	for i := range db.shards {
+		db.shards[i].sets = map[string]*bloom.Filter{}
+	}
+	return db, nil
+}
+
+// shardOf returns the shard responsible for key.
+func (db *DB) shardOf(key string) *shard { return &db.shards[shardIndex(key)] }
+
+// rlockTree / runlockTree bracket the tree read gate on pruned databases
+// (whose tree can grow concurrently); full trees are immutable after
+// Open, so their queries take no tree lock at all. A paired function
+// (rather than a returned unlock closure) keeps the hot read path
+// allocation-free.
+func (db *DB) rlockTree() {
+	if db.opts.Pruned {
+		db.treeMu.RLock()
+	}
+}
+
+func (db *DB) runlockTree() {
+	if db.opts.Pruned {
+		db.treeMu.RUnlock()
+	}
 }
 
 // Options returns the database's (defaulted) options.
 func (db *DB) Options() Options { return db.opts }
 
-// Tree exposes the shared BloomSampleTree (read-only use).
+// Tree exposes the shared BloomSampleTree (read-only use; on a pruned
+// database it may grow concurrently with Add).
 func (db *DB) Tree() *core.Tree { return db.tree }
 
 // Len returns the number of stored sets.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.sets)
+	n := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		n += len(s.sets)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Keys returns the stored set keys in sorted order.
 func (db *DB) Keys() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.sets))
-	for k := range db.sets {
-		keys = append(keys, k)
+	var keys []string
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for k := range s.sets {
+			keys = append(keys, k)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
@@ -155,24 +228,30 @@ func (db *DB) Keys() []string {
 // Add inserts ids into the set stored under key, creating it on first
 // use. On a pruned database the shared tree grows to cover the new ids.
 func (db *DB) Add(key string, ids ...uint64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	for _, id := range ids {
 		if id >= db.opts.Namespace {
 			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
 		}
 	}
-	if _, clash := db.dynamic[key]; clash {
+	s := db.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, clash := s.dynamic[key]; clash {
 		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
 	}
-	f, ok := db.sets[key]
+	f, ok := s.sets[key]
 	if !ok {
 		f = bloom.New(db.fam)
-		db.sets[key] = f
+		s.sets[key] = f
 	}
+	var buf []uint64
 	for _, id := range ids {
-		f.Add(id)
-		if db.opts.Pruned {
+		buf = f.AddScratch(id, buf)
+	}
+	if db.opts.Pruned {
+		db.treeMu.Lock()
+		defer db.treeMu.Unlock()
+		for _, id := range ids {
 			if err := db.tree.Insert(id); err != nil {
 				return err
 			}
@@ -184,85 +263,172 @@ func (db *DB) Add(key string, ids ...uint64) error {
 // Delete removes a stored set. It returns false if the key is absent.
 // (Individual ids cannot be removed from a Bloom filter.)
 func (db *DB) Delete(key string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	_, ok := db.sets[key]
-	delete(db.sets, key)
+	s := db.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sets[key]
+	delete(s.sets, key)
 	return ok
 }
 
 // Filter returns the stored filter for key (nil if absent). The returned
-// filter is shared — do not mutate it; use Add.
+// filter is shared — do not mutate it (use Add), and be aware that a
+// concurrent Add to the same key mutates it in place; hold off on writes
+// to the key while reading the filter directly.
 func (db *DB) Filter(key string) *bloom.Filter {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.sets[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sets[key]
 }
 
 // Contains reports whether id answers positively for the set under key.
 func (db *DB) Contains(key string, id uint64) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, ok := db.sets[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.sets[key]
 	if !ok {
-		return false, fmt.Errorf("setdb: no set %q", key)
+		return false, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
 	return f.Contains(id), nil
 }
 
 // Sample draws one element from the set under key using BSTSample.
 func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, ok := db.sets[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.sets[key]
 	if !ok {
-		return 0, fmt.Errorf("setdb: no set %q", key)
+		return 0, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
+	db.rlockTree()
+	defer db.runlockTree()
 	return db.tree.Sample(f, rng, ops)
 }
 
 // SampleN draws r elements in a single tree pass (§5.3).
 func (db *DB) SampleN(key string, r int, withReplacement bool, rng *rand.Rand, ops *core.Ops) ([]uint64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, ok := db.sets[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.sets[key]
 	if !ok {
-		return nil, fmt.Errorf("setdb: no set %q", key)
+		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
+	db.rlockTree()
+	defer db.runlockTree()
 	return db.tree.SampleN(f, r, withReplacement, rng, ops)
 }
 
-// UniformSampler returns a rejection-corrected exactly-uniform sampler
-// for the set under key.
-func (db *DB) UniformSampler(key string) (*core.UniformSampler, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, ok := db.sets[key]
-	if !ok {
-		return nil, fmt.Errorf("setdb: no set %q", key)
+// Sampler is a rejection-corrected exactly-uniform sampler bound to its
+// database (see core.UniformSampler). Each draw takes the key's shard
+// read lock and — on pruned databases — the tree read gate, so it stays
+// safe against concurrent Adds anywhere in the database. A Sampler
+// instance self-calibrates and is not safe for concurrent use; create
+// one per goroutine. Its calibration snapshots the stored set's
+// estimated cardinality at creation time; rebuild it after large Adds to
+// its key. Deleting (or deleting and re-adding) the key invalidates the
+// sampler: subsequent draws return ErrSamplerInvalid.
+type Sampler struct {
+	db  *DB
+	sh  *shard
+	key string
+	f   *bloom.Filter // the stored filter the sampler was calibrated on
+	u   *core.UniformSampler
+}
+
+// ErrSamplerInvalid is returned by Sampler.Sample after the sampler's key
+// is Deleted (or Deleted and re-Added): the sampler is calibrated on the
+// old filter and would silently keep serving the deleted set version.
+var ErrSamplerInvalid = fmt.Errorf("setdb: sampler invalidated: its set was deleted or replaced")
+
+// Sample draws one uniform element; see core.UniformSampler.Sample. It
+// returns ErrSamplerInvalid if the sampler's key no longer maps to the
+// filter it was created on.
+func (s *Sampler) Sample(rng *rand.Rand, ops *core.Ops) (uint64, error) {
+	s.sh.mu.RLock()
+	defer s.sh.mu.RUnlock()
+	if s.sh.sets[s.key] != s.f {
+		return 0, ErrSamplerInvalid
 	}
-	return db.tree.NewUniformSampler(f)
+	s.db.rlockTree()
+	defer s.db.runlockTree()
+	return s.u.Sample(rng, ops)
+}
+
+// SampleN draws r uniform samples (with replacement) by repeated Sample.
+func (s *Sampler) SampleN(r int, rng *rand.Rand, ops *core.Ops) ([]uint64, error) {
+	out := make([]uint64, 0, r)
+	for i := 0; i < r; i++ {
+		x, err := s.Sample(rng, ops)
+		if err == core.ErrNoSample {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// Stats returns cumulative rejection statistics.
+func (s *Sampler) Stats() core.UniformStats { return s.u.Stats() }
+
+// UniformSampler returns a rejection-corrected exactly-uniform sampler
+// for the set under key. The returned Sampler locks per draw, so it is
+// safe to keep using while other goroutines Add to the database.
+func (db *DB) UniformSampler(key string) (*Sampler, error) {
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.sets[key]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
+	}
+	db.rlockTree()
+	defer db.runlockTree()
+	u, err := db.tree.NewUniformSampler(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{db: db, sh: s, key: key, f: f, u: u}, nil
 }
 
 // Reconstruct returns the set stored under key (§6).
 func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uint64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	f, ok := db.sets[key]
+	s := db.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.sets[key]
 	if !ok {
-		return nil, fmt.Errorf("setdb: no set %q", key)
+		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
+	db.rlockTree()
+	defer db.runlockTree()
 	return db.tree.Reconstruct(f, rule, ops)
 }
 
 // IntersectionEstimate estimates |A ∩ B| for two stored sets.
 func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	a, okA := db.sets[keyA]
-	b, okB := db.sets[keyB]
+	ia, ib := shardIndex(keyA), shardIndex(keyB)
+	sa, sb := &db.shards[ia], &db.shards[ib]
+	// Lock in shard-index order so concurrent estimates can't deadlock.
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	db.shards[ia].mu.RLock()
+	defer db.shards[ia].mu.RUnlock()
+	if ib != ia {
+		db.shards[ib].mu.RLock()
+		defer db.shards[ib].mu.RUnlock()
+	}
+	a, okA := sa.sets[keyA]
+	b, okB := sb.sets[keyB]
 	if !okA || !okB {
-		return 0, fmt.Errorf("setdb: missing set %q or %q", keyA, keyB)
+		return 0, fmt.Errorf("%w %q or %q", ErrNoSet, keyA, keyB)
 	}
 	return bloom.EstimateIntersectionOf(a, b), nil
 }
@@ -278,10 +444,14 @@ func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
 // validated against the database profile on load.
 const dbMagic = "SETDB1"
 
-// WriteTo serializes the database. It implements io.WriterTo.
+// WriteTo serializes the database. It implements io.WriterTo. All shards
+// are read-locked for the duration, so the snapshot is consistent;
+// concurrent readers proceed, writers wait.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+		defer db.shards[i].mu.RUnlock()
+	}
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if _, err := bw.WriteString(dbMagic); err != nil {
@@ -306,9 +476,11 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 
-	keys := make([]string, 0, len(db.sets))
-	for k := range db.sets {
-		keys = append(keys, k)
+	var keys []string
+	for i := range db.shards {
+		for k := range db.shards[i].sets {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	var cnt [4]byte
@@ -320,7 +492,7 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		if len(k) > 1<<16-1 {
 			return cw.n, fmt.Errorf("setdb: key %.20q... too long", k)
 		}
-		data, err := db.sets[k].MarshalBinary()
+		data, err := db.shardOf(k).sets[k].MarshalBinary()
 		if err != nil {
 			return cw.n, err
 		}
@@ -401,7 +573,6 @@ func parse(r io.Reader) (*DB, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(cnt[:])
-	probe := bloom.New(db.fam)
 	for i := uint32(0); i < count; i++ {
 		var kl [2]byte
 		if _, err := io.ReadFull(br, kl[:]); err != nil {
@@ -423,10 +594,11 @@ func parse(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
 		}
-		if err := probe.Compatible(f); err != nil {
+		if err := f.MatchesFamily(db.fam); err != nil {
 			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
 		}
-		db.sets[string(key)] = f
+		k := string(key)
+		db.shardOf(k).sets[k] = f
 	}
 	return db, nil
 }
