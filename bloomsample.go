@@ -15,19 +15,24 @@
 //
 // # Concurrency
 //
-// The whole query side is lock-free and safe for unsynchronized
+// The whole query side is wait-free and safe for unsynchronized
 // concurrent use: Filter.Contains and the estimators are read-only (hash
 // position buffers are pooled, not per-filter), and Tree.Sample /
 // Tree.SampleN / Tree.Reconstruct only read immutable node filters — any
 // number of goroutines may query one tree, even sharing a single query
 // Filter, as long as each owns its rand source and Ops accumulator.
-// Mutating a Filter (Add) or a pruned Tree (Insert) requires external
-// synchronization. SetDB layers that synchronization for you: its keyed
-// sets are sharded across independently locked maps, reads take only
-// per-shard read locks, and the batch helpers SetDB.SampleMany and
-// SetDB.ReconstructAll fan work out across GOMAXPROCS goroutines. A
-// UniformSampler instance self-calibrates and is the one query-side
-// object that is NOT concurrency-safe; create one per goroutine.
+// Writes are copy-on-write: a pruned Tree grows (Insert/InsertBatch)
+// by publishing fresh immutable filters and privately built subtrees
+// through atomic pointers, with writers serialized per subtree — so
+// queries never wait on growth. Mutating a raw Filter in place (Add)
+// still requires external synchronization; prefer Filter.CloneAdd,
+// which returns a new immutable version. SetDB composes all of this:
+// its keyed sets live in atomically swapped immutable shard snapshots,
+// every read is lock-free, writers briefly serialize per shard, and the
+// batch helpers SetDB.SampleMany and SetDB.ReconstructAll fan work out
+// across GOMAXPROCS goroutines. A UniformSampler self-calibrates through
+// atomics and may be shared by any number of goroutines (each with its
+// own rand source).
 //
 // Quick start:
 //
@@ -192,7 +197,8 @@ func FalseSetOverlapProb(m uint64, k int, n1, n2 uint64) float64 {
 
 // UniformSampler draws exactly uniform samples from a query filter by
 // rejection, correcting the estimator-noise bias of the plain tree
-// descent. Create one per query filter with Tree.NewUniformSampler.
+// descent. Create one per query filter with Tree.NewUniformSampler; a
+// single instance may be shared across goroutines.
 type UniformSampler = core.UniformSampler
 
 // UniformStats reports a UniformSampler's rejection behaviour.
@@ -201,19 +207,20 @@ type UniformStats = core.UniformStats
 // SetDB is a keyed database of sets stored only as Bloom filters over a
 // shared namespace and BloomSampleTree — the paper's §3.2 framework. It
 // supports per-key sampling and reconstruction and persists to a single
-// file. SetDB is safe for concurrent use with a genuinely parallel read
-// path: queries take only read locks on the key's shard, so concurrent
-// Sample/Contains/Reconstruct calls — even on the same key — never
-// serialize. The batch APIs SampleMany and ReconstructAll parallelize
-// internally.
+// file. SetDB is safe for concurrent use with a wait-free read path:
+// queries load immutable shard snapshots through atomic pointers and
+// take no locks at all, so concurrent Sample/Contains/Reconstruct calls
+// — even on the same key, even racing writers — never serialize. The
+// batch APIs SampleMany and ReconstructAll parallelize internally.
 type SetDB = setdb.DB
 
 // SetDBOptions configures a SetDB.
 type SetDBOptions = setdb.Options
 
 // SetDBSampler is the database-bound exactly-uniform sampler returned by
-// SetDB.UniformSampler: each draw locks against concurrent writes, so it
-// remains safe while other goroutines Add to the database.
+// SetDB.UniformSampler: draws are lock-free, shareable across
+// goroutines, and follow the key across copy-on-write Adds by
+// recalibrating against the newly published filter version.
 type SetDBSampler = setdb.Sampler
 
 // OpenSetDB creates an empty set database.

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,14 +31,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		full    = flag.Bool("full", false, "run at the paper's full scale (slow)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files into")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		rounds  = flag.Int("rounds", 0, "override sampling rounds per cell")
-		hash    = flag.String("hash", "", "override hash family (simple|murmur3|md5|fnv)")
-		twScale = flag.Int("twitter-scale", 0, "override Twitter-crawl scale divisor")
+		exp       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		full      = flag.Bool("full", false, "run at the paper's full scale (slow)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir    = flag.String("csv", "", "directory to also write per-table CSV files into")
+		jsonPath  = flag.String("json", "", "file to write all results into as machine-readable JSON (e.g. BENCH_concurrency.json)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		rounds    = flag.Int("rounds", 0, "override sampling rounds per cell")
+		hash      = flag.String("hash", "", "override hash family (simple|murmur3|md5|fnv)")
+		twScale   = flag.Int("twitter-scale", 0, "override Twitter-crawl scale divisor")
+		writeFrac = flag.Float64("writefrac", 0, "write fraction for the concurrency experiment's read/write mix (0..1)")
 	)
 	flag.Parse()
 
@@ -64,12 +68,23 @@ func main() {
 	if *twScale > 0 {
 		cfg.TwitterScale = *twScale
 	}
+	if *writeFrac < 0 || *writeFrac > 1 {
+		fatalf("bad -writefrac %v: want 0..1", *writeFrac)
+	}
+	cfg.WriteFrac = *writeFrac
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = experiments.ExperimentIDs()
 	}
 	registry := experiments.Registry()
+	report := &jsonReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        cfg.Seed,
+		Full:        *full,
+		WriteFrac:   cfg.WriteFrac,
+	}
 	for _, id := range ids {
 		runner, ok := registry[id]
 		if !ok {
@@ -80,6 +95,7 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}
+		je := jsonExperiment{ID: id}
 		for _, tbl := range tables {
 			if err := tbl.WriteText(os.Stdout); err != nil {
 				fatalf("write: %v", err)
@@ -90,9 +106,51 @@ func main() {
 					fatalf("csv: %v", err)
 				}
 			}
+			je.Tables = append(je.Tables, jsonTable{
+				ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
+			})
 		}
+		je.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		report.Experiments = append(report.Experiments, je)
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+}
+
+// jsonReport is the machine-readable form of one bstbench run, written
+// by -json so performance trajectories can be tracked across commits.
+type jsonReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Seed        uint64           `json:"seed"`
+	Full        bool             `json:"full"`
+	WriteFrac   float64          `json:"writefrac"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID        string      `json:"id"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Tables    []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func writeJSON(path string, report *jsonReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeCSV(dir string, tbl *experiments.Table) error {

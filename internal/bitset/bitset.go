@@ -26,6 +26,20 @@ func New(n uint64) *Set {
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// FromWords wraps a caller-built packed word slice (bit i lives at word
+// i/64, bit i%64) in a vector of n bits, taking ownership of the slice.
+// The slice length must be exactly (n+63)/64; bits beyond n are masked
+// off. It lets bulk producers (the counting-filter snapshot projection)
+// assemble a vector word-at-a-time instead of bit-at-a-time.
+func FromWords(n uint64, words []uint64) *Set {
+	if uint64(len(words)) != (n+wordBits-1)/wordBits {
+		panic(fmt.Sprintf("bitset: %d words for %d bits, want %d", len(words), n, (n+wordBits-1)/wordBits))
+	}
+	s := &Set{n: n, words: words}
+	s.maskTail()
+	return s
+}
+
 // Len returns the number of bits in the vector.
 func (s *Set) Len() uint64 { return s.n }
 

@@ -2,7 +2,9 @@ package bloom
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/hashfam"
 )
 
@@ -19,10 +21,23 @@ import (
 // "may yield false positives", never false negatives for present
 // elements, as long as Remove is only called for previously Added
 // elements).
+//
+// Like Filter, the query side (Contains, Snapshot) is read-only and safe
+// for unsynchronized concurrent callers; the mutating operations (Add,
+// Remove, Reset) require external synchronization. The copy-on-write
+// forms (CloneAdd, CloneRemove) never mutate the receiver, so a publisher
+// holding filters behind an atomic pointer can apply them against the
+// current version and swap in the result without stalling readers.
 type CountingFilter struct {
 	counts []uint8
 	fam    hashfam.Family
 	n      uint64 // live insertions (Add minus Remove)
+
+	// snap caches the plain-filter projection of the current counts; any
+	// mutation invalidates it. Published (immutable) filters compute it at
+	// most once, so read-heavy dynamic workloads stop paying the O(m)
+	// projection per query.
+	snap atomic.Pointer[Filter]
 }
 
 // NewCounting returns an empty counting filter for the family.
@@ -54,6 +69,7 @@ func (c *CountingFilter) Add(x uint64) {
 	}
 	putPositions(bp, pos)
 	c.n++
+	c.snap.Store(nil)
 }
 
 // Remove deletes one previous insertion of x. It returns an error if x is
@@ -75,6 +91,7 @@ func (c *CountingFilter) Remove(x uint64) error {
 	if c.n > 0 {
 		c.n--
 	}
+	c.snap.Store(nil)
 	return nil
 }
 
@@ -93,17 +110,59 @@ func (c *CountingFilter) Contains(x uint64) bool {
 	return ok
 }
 
-// Snapshot projects the counting filter onto a plain Filter (counter > 0
-// → bit set) sharing the same family, ready for use against a
-// BloomSampleTree built with the same parameters.
-func (c *CountingFilter) Snapshot() *Filter {
-	f := New(c.fam)
-	for p, cnt := range c.counts {
-		if cnt > 0 {
-			f.bits.Set(uint64(p))
+// Clone returns a deep copy of the counting filter (sharing the immutable
+// family). The snapshot cache is not carried over.
+func (c *CountingFilter) Clone() *CountingFilter {
+	counts := make([]uint8, len(c.counts))
+	copy(counts, c.counts)
+	return &CountingFilter{counts: counts, fam: c.fam, n: c.n}
+}
+
+// CloneAdd is the copy-on-write form of Add: it returns a new counting
+// filter equal to c with ids inserted, leaving c untouched.
+func (c *CountingFilter) CloneAdd(ids ...uint64) *CountingFilter {
+	next := c.Clone()
+	for _, x := range ids {
+		next.Add(x)
+	}
+	return next
+}
+
+// CloneRemove is the copy-on-write form of Remove with all-or-nothing
+// batch semantics: it returns a new counting filter equal to c with one
+// insertion of each id removed, leaving c untouched. If any id is not a
+// member at its turn, an error is returned and no new filter is produced —
+// unlike repeated Remove calls, a failed batch leaves no partial state for
+// a publisher to expose.
+func (c *CountingFilter) CloneRemove(ids ...uint64) (*CountingFilter, error) {
+	next := c.Clone()
+	for _, x := range ids {
+		if err := next.Remove(x); err != nil {
+			return nil, err
 		}
 	}
-	f.n = c.n
+	return next, nil
+}
+
+// Snapshot projects the counting filter onto a plain Filter (counter > 0
+// → bit set) sharing the same family, ready for use against a
+// BloomSampleTree built with the same parameters. The projection is
+// assembled word-level and memoized until the next mutation, so repeated
+// snapshots of an unchanged (e.g. published copy-on-write) filter are
+// O(1). The returned filter is shared: treat it as immutable.
+func (c *CountingFilter) Snapshot() *Filter {
+	if f := c.snap.Load(); f != nil {
+		return f
+	}
+	m := uint64(len(c.counts))
+	words := make([]uint64, (m+63)/64)
+	for p, cnt := range c.counts {
+		if cnt > 0 {
+			words[p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	f := &Filter{bits: bitset.FromWords(m, words), fam: c.fam, n: c.n}
+	c.snap.Store(f)
 	return f
 }
 
@@ -116,4 +175,5 @@ func (c *CountingFilter) Reset() {
 		c.counts[i] = 0
 	}
 	c.n = 0
+	c.snap.Store(nil)
 }

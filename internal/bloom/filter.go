@@ -166,6 +166,45 @@ func (f *Filter) Clone() *Filter {
 	return &Filter{bits: f.bits.Clone(), fam: f.fam, n: f.n}
 }
 
+// CloneAdd is the copy-on-write form of Add: it returns a new filter equal
+// to f with ids inserted, leaving f untouched, so callers that publish
+// filters through atomic pointers can mutate without ever blocking readers
+// of the previous version. The bit vector is copied word-level once and
+// all ids are inserted into the copy; when every id is already a positive
+// (no bit would change — common for saturated tree nodes and duplicate
+// inserts) the copy is skipped entirely and the new filter shares f's bit
+// vector, which is safe as long as both values are treated as immutable,
+// the contract of every filter reachable from a published snapshot.
+func (f *Filter) CloneAdd(ids ...uint64) *Filter {
+	bp := posBuf.Get().(*[]uint64)
+	pos := (*bp)[:0]
+	var bits *bitset.Set
+	n := f.n
+	for _, x := range ids {
+		pos = f.fam.Positions(x, pos[:0])
+		if bits == nil {
+			for _, p := range pos {
+				if !f.bits.Test(p) {
+					bits = f.bits.Clone()
+					break
+				}
+			}
+		}
+		if bits != nil {
+			for _, p := range pos {
+				bits.Set(p)
+			}
+		}
+		n++
+	}
+	*bp = pos[:0]
+	posBuf.Put(bp)
+	if bits == nil {
+		bits = f.bits // no bit changed: share the vector (immutable by contract)
+	}
+	return &Filter{bits: bits, fam: f.fam, n: n}
+}
+
 // Equal reports whether two filters have identical bit vectors and
 // compatible parameters.
 func (f *Filter) Equal(g *Filter) bool {

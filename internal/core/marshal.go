@@ -29,8 +29,12 @@ import (
 //	         (bit0 = left present, bit1 = right present)
 const treeMagic = "BST1"
 
-// WriteTo serializes the tree. It implements io.WriterTo.
+// WriteTo serializes the tree. It implements io.WriterTo. On a pruned
+// tree, growth concurrent with WriteTo yields a valid snapshot that may
+// include in-flight epochs only partially; quiesce writers first when an
+// exact point-in-time image is required.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	root := t.rootNode()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if _, err := bw.WriteString(treeMagic); err != nil {
@@ -46,12 +50,12 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(t.cfg.Depth))
 	hdr = binary.LittleEndian.AppendUint64(hdr, t.cfg.Seed)
 	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(t.cfg.EmptyThreshold))
-	hdr = append(hdr, b2u8(t.pruned), b2u8(t.root != nil))
+	hdr = append(hdr, b2u8(t.pruned), b2u8(root != nil))
 	if _, err := bw.Write(hdr); err != nil {
 		return cw.n, err
 	}
-	if t.root != nil {
-		if err := writeNode(bw, t.root); err != nil {
+	if root != nil {
+		if err := writeNode(bw, root); err != nil {
 			return cw.n, err
 		}
 	}
@@ -68,7 +72,7 @@ func writeNode(w *bufio.Writer, n *node) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	bits, err := n.f.Bits().MarshalBinary()
+	bits, err := n.filter().Bits().MarshalBinary()
 	if err != nil {
 		return err
 	}
@@ -80,23 +84,24 @@ func writeNode(w *bufio.Writer, n *node) error {
 	if _, err := w.Write(bits); err != nil {
 		return err
 	}
+	left, right := n.children()
 	var mask byte
-	if n.left != nil {
+	if left != nil {
 		mask |= 1
 	}
-	if n.right != nil {
+	if right != nil {
 		mask |= 2
 	}
 	if err := w.WriteByte(mask); err != nil {
 		return err
 	}
-	if n.left != nil {
-		if err := writeNode(w, n.left); err != nil {
+	if left != nil {
+		if err := writeNode(w, left); err != nil {
 			return err
 		}
 	}
-	if n.right != nil {
-		if err := writeNode(w, n.right); err != nil {
+	if right != nil {
+		if err := writeNode(w, right); err != nil {
 			return err
 		}
 	}
@@ -147,8 +152,8 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.root = root
-		t.nodes = count
+		t.root.Store(root)
+		t.nodes.Store(count)
 	}
 	if err := t.validateShape(); err != nil {
 		return nil, err
@@ -161,10 +166,7 @@ func readNode(r *bufio.Reader, t *Tree) (*node, uint64, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, err
 	}
-	n := &node{
-		lo: binary.LittleEndian.Uint64(hdr[0:]),
-		hi: binary.LittleEndian.Uint64(hdr[8:]),
-	}
+	n := newNode(binary.LittleEndian.Uint64(hdr[0:]), binary.LittleEndian.Uint64(hdr[8:]), nil)
 	var bl [4]byte
 	if _, err := io.ReadFull(r, bl[:]); err != nil {
 		return nil, 0, err
@@ -184,7 +186,7 @@ func readNode(r *bufio.Reader, t *Tree) (*node, uint64, error) {
 	if bits.Len() != t.cfg.Bits {
 		return nil, 0, fmt.Errorf("core: node filter has %d bits, tree expects %d", bits.Len(), t.cfg.Bits)
 	}
-	n.f = bloom.NewFromBits(t.fam, &bits)
+	n.f.Store(bloom.NewFromBits(t.fam, &bits))
 	mask, err := r.ReadByte()
 	if err != nil {
 		return nil, 0, err
@@ -195,14 +197,16 @@ func readNode(r *bufio.Reader, t *Tree) (*node, uint64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		n.left, count = child, count+c
+		n.left.Store(child)
+		count += c
 	}
 	if mask&2 != 0 {
 		child, c, err := readNode(r, t)
 		if err != nil {
 			return nil, 0, err
 		}
-		n.right, count = child, count+c
+		n.right.Store(child)
+		count += c
 	}
 	return n, count, nil
 }
@@ -211,46 +215,48 @@ func readNode(r *bufio.Reader, t *Tree) (*node, uint64, error) {
 // nest and partition, and children of internal nodes exist per the
 // pruned/full contract.
 func (t *Tree) validateShape() error {
-	if t.root == nil {
+	root := t.rootNode()
+	if root == nil {
 		if !t.pruned {
 			return fmt.Errorf("core: full tree without a root")
 		}
 		return nil
 	}
-	if t.root.lo != 0 || t.root.hi != t.cfg.Namespace {
-		return fmt.Errorf("core: root range [%d,%d) != namespace [0,%d)", t.root.lo, t.root.hi, t.cfg.Namespace)
+	if root.lo != 0 || root.hi != t.cfg.Namespace {
+		return fmt.Errorf("core: root range [%d,%d) != namespace [0,%d)", root.lo, root.hi, t.cfg.Namespace)
 	}
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.lo >= n.hi {
 			return fmt.Errorf("core: empty node range [%d,%d)", n.lo, n.hi)
 		}
-		if n.isLeaf() {
+		left, right := n.children()
+		if left == nil && right == nil {
 			return nil
 		}
-		if !t.pruned && (n.left == nil || n.right == nil) {
+		if !t.pruned && (left == nil || right == nil) {
 			return fmt.Errorf("core: full-tree internal node [%d,%d) missing a child", n.lo, n.hi)
 		}
 		mid := split(n.lo, n.hi)
-		if n.left != nil {
-			if n.left.lo != n.lo || n.left.hi != mid {
-				return fmt.Errorf("core: left child [%d,%d) does not match split of [%d,%d)", n.left.lo, n.left.hi, n.lo, n.hi)
+		if left != nil {
+			if left.lo != n.lo || left.hi != mid {
+				return fmt.Errorf("core: left child [%d,%d) does not match split of [%d,%d)", left.lo, left.hi, n.lo, n.hi)
 			}
-			if err := walk(n.left); err != nil {
+			if err := walk(left); err != nil {
 				return err
 			}
 		}
-		if n.right != nil {
-			if n.right.lo != mid || n.right.hi != n.hi {
-				return fmt.Errorf("core: right child [%d,%d) does not match split of [%d,%d)", n.right.lo, n.right.hi, n.lo, n.hi)
+		if right != nil {
+			if right.lo != mid || right.hi != n.hi {
+				return fmt.Errorf("core: right child [%d,%d) does not match split of [%d,%d)", right.lo, right.hi, n.lo, n.hi)
 			}
-			if err := walk(n.right); err != nil {
+			if err := walk(right); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return walk(t.root)
+	return walk(root)
 }
 
 // Save writes the tree to path atomically.

@@ -24,14 +24,15 @@ func (t *Tree) SampleN(q *bloom.Filter, r int, withReplacement bool, rng *rand.R
 	if err := t.checkQuery(q); err != nil {
 		return nil, err
 	}
-	if r <= 0 || t.root == nil {
+	root := t.rootNode()
+	if r <= 0 || root == nil {
 		return nil, nil
 	}
 	st := &multiState{drained: make(map[*node]bool)}
 	if !withReplacement {
 		st.exclude = make(map[uint64]bool)
 	}
-	return t.multiNode(t.root, q, r, st, rng, ops), nil
+	return t.multiNode(root, q, r, st, rng, ops), nil
 }
 
 // multiState carries per-call bookkeeping for SampleN. exclude (nil in
@@ -52,7 +53,8 @@ func (t *Tree) multiNode(n *node, q *bloom.Filter, r int, st *multiState, rng *r
 	if ops != nil {
 		ops.NodesVisited++
 	}
-	if n.isLeaf() {
+	left, right := n.children()
+	if left == nil && right == nil {
 		out := t.multiLeaf(n, q, r, st, rng, ops)
 		if len(out) < r {
 			st.drained[n] = true
@@ -60,8 +62,8 @@ func (t *Tree) multiNode(n *node, q *bloom.Filter, r int, st *multiState, rng *r
 		return out
 	}
 
-	lEst := t.childEstimate(n.left, q, ops)
-	rEst := t.childEstimate(n.right, q, ops)
+	lEst := t.childEstimate(left, q, ops)
+	rEst := t.childEstimate(right, q, ops)
 	thr := t.cfg.EmptyThreshold
 	lOK, rOK := lEst >= thr, rEst >= thr
 
@@ -71,9 +73,9 @@ func (t *Tree) multiNode(n *node, q *bloom.Filter, r int, st *multiState, rng *r
 		st.drained[n] = true
 		return nil
 	case lOK && !rOK:
-		out = t.multiNode(n.left, q, r, st, rng, ops)
+		out = t.multiNode(left, q, r, st, rng, ops)
 	case !lOK && rOK:
-		out = t.multiNode(n.right, q, r, st, rng, ops)
+		out = t.multiNode(right, q, r, st, rng, ops)
 	default:
 		// Split the r paths between the children with independent biased
 		// coins, exactly as r separate BSTSample runs would (§5.3), so the
@@ -86,10 +88,10 @@ func (t *Tree) multiNode(n *node, q *bloom.Filter, r int, st *multiState, rng *r
 			}
 		}
 		if toLeft > 0 {
-			out = append(out, t.multiNode(n.left, q, toLeft, st, rng, ops)...)
+			out = append(out, t.multiNode(left, q, toLeft, st, rng, ops)...)
 		}
 		if r-toLeft > 0 {
-			out = append(out, t.multiNode(n.right, q, r-toLeft, st, rng, ops)...)
+			out = append(out, t.multiNode(right, q, r-toLeft, st, rng, ops)...)
 		}
 		// Reroute unsatisfied paths into the sibling (backtracking), as
 		// BSTSample does for a single path; drained marks prevent
@@ -98,9 +100,9 @@ func (t *Tree) multiNode(n *node, q *bloom.Filter, r int, st *multiState, rng *r
 			if ops != nil {
 				ops.Backtracks++
 			}
-			firstChild, secondChild := n.left, n.right
+			firstChild, secondChild := left, right
 			if rEst > lEst {
-				firstChild, secondChild = n.right, n.left
+				firstChild, secondChild = right, left
 			}
 			out = append(out, t.multiNode(firstChild, q, deficit, st, rng, ops)...)
 			if deficit = r - len(out); deficit > 0 {

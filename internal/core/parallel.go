@@ -29,7 +29,7 @@ func BuildTreeParallel(cfg Config, workers int) (*Tree, error) {
 		fanDepth++
 	}
 	if fanDepth == 0 {
-		t.root = t.buildFull(0, cfg.Namespace, cfg.Depth)
+		t.root.Store(t.buildFull(0, cfg.Namespace, cfg.Depth))
 		return t, nil
 	}
 
@@ -52,26 +52,20 @@ func BuildTreeParallel(cfg Config, workers int) (*Tree, error) {
 	}
 	enumerate(0, cfg.Namespace, cfg.Depth, fanDepth)
 
-	// Each worker builds whole subtrees with its own node counter to
-	// avoid contention; counters are folded in afterwards.
+	// Workers share the tree's atomic node counter, so subtrees build
+	// concurrently with no per-worker bookkeeping.
 	var wg sync.WaitGroup
-	counts := make([]uint64, len(jobs))
 	sem := make(chan struct{}, workers)
-	for i, j := range jobs {
+	for _, j := range jobs {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, j *job) {
+		go func(j *job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sub := &Tree{cfg: t.cfg, fam: t.fam}
-			j.out = sub.buildFull(j.lo, j.hi, j.depth)
-			counts[i] = sub.nodes
-		}(i, j)
+			j.out = t.buildFull(j.lo, j.hi, j.depth)
+		}(j)
 	}
 	wg.Wait()
-	for _, c := range counts {
-		t.nodes += c
-	}
 
 	// Stitch the subtrees under the top levels, unioning upward.
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].lo < jobs[b].lo })
@@ -87,17 +81,19 @@ func BuildTreeParallel(cfg Config, workers int) (*Tree, error) {
 				continue
 			}
 			l, r := level[i], level[i+1]
-			f, err := l.f.Union(r.f)
+			f, err := l.filter().Union(r.filter())
 			if err != nil {
 				return nil, err
 			}
-			parent := &node{lo: l.lo, hi: r.hi, f: f, left: l, right: r}
-			t.nodes++
+			parent := newNode(l.lo, r.hi, f)
+			parent.left.Store(l)
+			parent.right.Store(r)
+			t.nodes.Add(1)
 			next = append(next, parent)
 		}
 		level = next
 	}
-	t.root = level[0]
+	t.root.Store(level[0])
 	return t, nil
 }
 
@@ -128,7 +124,7 @@ type LevelStats struct {
 // ComputeStats walks the tree and aggregates per-level fill ratios.
 func (t *Tree) ComputeStats() Stats {
 	s := Stats{Nodes: t.Nodes(), MemoryBytes: t.MemoryBytes()}
-	if t.root == nil {
+	if t.rootNode() == nil {
 		return s
 	}
 	type lv struct {
@@ -145,7 +141,7 @@ func (t *Tree) ComputeStats() Stats {
 		for len(levels) <= depth {
 			levels = append(levels, lv{min: 2})
 		}
-		fill := n.f.FillRatio()
+		fill := n.filter().FillRatio()
 		l := &levels[depth]
 		l.sum += fill
 		l.n++
@@ -155,10 +151,11 @@ func (t *Tree) ComputeStats() Stats {
 		if fill > l.max {
 			l.max = fill
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		left, right := n.children()
+		walk(left, depth+1)
+		walk(right, depth+1)
 	}
-	walk(t.root, 0)
+	walk(t.rootNode(), 0)
 	s.SaturationDepth = len(levels)
 	for i, l := range levels {
 		ls := LevelStats{Level: i, Nodes: l.n, MinFill: l.min, MeanFill: l.sum / float64(l.n), MaxFill: l.max}

@@ -37,24 +37,26 @@ func (t *Tree) Reconstruct(q *bloom.Filter, rule PruneRule, ops *Ops) ([]uint64,
 	if err := t.checkQuery(q); err != nil {
 		return nil, err
 	}
-	if t.root == nil {
+	root := t.rootNode()
+	if root == nil {
 		return nil, nil
 	}
-	return t.reconstructNode(t.root, q, rule, ops, nil), nil
+	return t.reconstructNode(root, q, rule, ops, nil), nil
 }
 
 func (t *Tree) reconstructNode(n *node, q *bloom.Filter, rule PruneRule, ops *Ops, out []uint64) []uint64 {
 	if ops != nil {
 		ops.NodesVisited++
 	}
-	if n.isLeaf() {
+	left, right := n.children()
+	if left == nil && right == nil {
 		return t.positivesInLeaf(n, q, ops, out)
 	}
-	if n.left != nil && t.childAlive(n.left, q, rule, ops) {
-		out = t.reconstructNode(n.left, q, rule, ops, out)
+	if left != nil && t.childAlive(left, q, rule, ops) {
+		out = t.reconstructNode(left, q, rule, ops, out)
 	}
-	if n.right != nil && t.childAlive(n.right, q, rule, ops) {
-		out = t.reconstructNode(n.right, q, rule, ops, out)
+	if right != nil && t.childAlive(right, q, rule, ops) {
+		out = t.reconstructNode(right, q, rule, ops, out)
 	}
 	return out
 }
@@ -65,7 +67,7 @@ func (t *Tree) childAlive(child *node, q *bloom.Filter, rule PruneRule, ops *Ops
 		ops.Intersections++
 	}
 	if rule == PruneByAndBits {
-		return child.f.IntersectsAny(q)
+		return child.filter().IntersectsAny(q)
 	}
-	return bloom.EstimateIntersectionOf(child.f, q) >= t.cfg.EmptyThreshold
+	return bloom.EstimateIntersectionOf(child.filter(), q) >= t.cfg.EmptyThreshold
 }

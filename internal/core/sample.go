@@ -29,27 +29,31 @@ func (t *Tree) Sample(q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, error)
 	if err := t.checkQuery(q); err != nil {
 		return 0, err
 	}
-	if t.root == nil { // empty pruned tree
+	root := t.rootNode()
+	if root == nil { // empty pruned tree
 		return 0, ErrNoSample
 	}
-	x, ok := t.sampleNode(t.root, q, rng, ops)
+	x, ok := t.sampleNode(root, q, rng, ops)
 	if !ok {
 		return 0, ErrNoSample
 	}
 	return x, nil
 }
 
-// sampleNode implements one recursive step of BSTSample.
+// sampleNode implements one recursive step of BSTSample. Child pointers
+// and filters are loaded once per visit, so a step races a concurrent
+// growth publish only by seeing either the old or the new version.
 func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, bool) {
 	if ops != nil {
 		ops.NodesVisited++
 	}
-	if n.isLeaf() {
+	left, right := n.children()
+	if left == nil && right == nil {
 		return t.sampleLeaf(n, q, rng, ops)
 	}
 
-	lEst := t.childEstimate(n.left, q, ops)
-	rEst := t.childEstimate(n.right, q, ops)
+	lEst := t.childEstimate(left, q, ops)
+	rEst := t.childEstimate(right, q, ops)
 	thr := t.cfg.EmptyThreshold
 	lOK, rOK := lEst >= thr, rEst >= thr
 
@@ -66,9 +70,9 @@ func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 	// estimator is noisy at leaf scale (§5.6), so a sparse but live
 	// branch can estimate to zero; reaching it through backtracking keeps
 	// its elements sampleable.
-	first, second := n.left, n.right
+	first, second := left, right
 	if p := lEst / (lEst + rEst); rng.Float64() >= p {
-		first, second = n.right, n.left
+		first, second = right, left
 	}
 	if x, ok := t.sampleNode(first, q, rng, ops); ok {
 		return x, true
@@ -91,7 +95,7 @@ func (t *Tree) childEstimate(child *node, q *bloom.Filter, ops *Ops) float64 {
 	if ops != nil {
 		ops.Intersections++
 	}
-	return bloom.EstimateIntersectionOf(child.f, q)
+	return bloom.EstimateIntersectionOf(child.filter(), q)
 }
 
 // sampleLeaf brute-force checks the leaf's range against q and picks one

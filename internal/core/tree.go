@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bloom"
 	"repro/internal/hashfam"
@@ -78,13 +80,47 @@ func (c *Config) withDefaults() Config {
 
 // node is one BloomSampleTree node covering the namespace range [lo, hi).
 // In a pruned tree, children covering unoccupied ranges are nil.
+//
+// The filter and child pointers are atomic so that pruned-tree growth can
+// publish copy-on-write updates (a fresh immutable filter, or a fully
+// built private subtree) with single stores while readers traverse
+// lock-free. Filters reachable from a node are immutable: growth swaps
+// the pointer to a CloneAdd result instead of mutating in place. lo and
+// hi never change after the node is created.
 type node struct {
 	lo, hi      uint64
-	f           *bloom.Filter
-	left, right *node
+	f           atomic.Pointer[bloom.Filter]
+	left, right atomic.Pointer[node]
 }
 
-func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
+// newNode returns a node over [lo, hi) holding f (which may be nil during
+// private subtree construction).
+func newNode(lo, hi uint64, f *bloom.Filter) *node {
+	n := &node{lo: lo, hi: hi}
+	if f != nil {
+		n.f.Store(f)
+	}
+	return n
+}
+
+// filter returns the node's current (immutable) filter.
+func (n *node) filter() *bloom.Filter { return n.f.Load() }
+
+// children loads both child pointers once; traversals load them into
+// locals so one visit sees one consistent pair (a node with neither
+// child is a leaf).
+func (n *node) children() (left, right *node) { return n.left.Load(), n.right.Load() }
+
+// maxSpineDepth bounds the number of top tree levels treated as the
+// shared spine by pruned-tree growth; below it the namespace splits into
+// up to 1<<maxSpineDepth independently locked subtrees.
+const maxSpineDepth = 4
+
+// growthStripe serializes writers of one subtree and counts its publishes.
+type growthStripe struct {
+	mu    sync.Mutex
+	epoch atomic.Uint64
+}
 
 // Tree is a BloomSampleTree: a complete binary tree over the namespace
 // with a Bloom filter per node, where each node's filter stores the
@@ -94,17 +130,34 @@ func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
 // Sample, SampleN, Reconstruct and EstimateSetSize are read-only on the
 // tree and on the query filter, so any number of goroutines may call them
 // concurrently — even sharing a single query Filter — as long as each
-// goroutine owns its rand source and Ops accumulator. The only mutating
-// operation is Insert (pruned trees): it must be externally serialized
-// against queries and other Inserts (setdb.DB does this with a tree-level
-// RWMutex).
+// goroutine owns its rand source and Ops accumulator.
+//
+// Pruned trees additionally support concurrent growth: Insert/InsertBatch
+// publish copy-on-write filter swaps and privately built subtrees through
+// the nodes' atomic pointers, so queries never wait on a writer — there is
+// no tree-wide lock at all. Writers serialize per subtree (see
+// growthStripe): the top spineDepth levels form a shared spine updated
+// with per-node compare-and-swap, and each of the 1<<spineDepth subtrees
+// below it is guarded by its own stripe mutex, so inserts into different
+// subtrees proceed in parallel. A query racing a growth epoch sees the
+// tree somewhere between the two versions (filters only ever gain bits,
+// so previously visible elements never disappear); ids being inserted
+// become sampleable when their epoch publishes.
 type Tree struct {
 	cfg    Config
 	fam    hashfam.Family
-	root   *node
+	root   atomic.Pointer[node]
 	pruned bool
-	nodes  uint64 // number of allocated nodes
+	nodes  atomic.Uint64 // number of allocated (published) nodes
+
+	// Growth machinery; stripes is nil on full trees, which are immutable
+	// after construction.
+	spineDepth int
+	stripes    []growthStripe
 }
+
+// rootNode returns the current root (nil for an empty pruned tree).
+func (t *Tree) rootNode() *node { return t.root.Load() }
 
 // Config returns the configuration the tree was built with.
 func (t *Tree) Config() Config { return t.cfg }
@@ -136,13 +189,41 @@ func (t *Tree) Pruned() bool { return t.pruned }
 // Nodes returns the number of allocated tree nodes. For a full tree this
 // is 2^(Depth+1) − 1; a pruned tree allocates only nodes whose range is
 // occupied.
-func (t *Tree) Nodes() uint64 { return t.nodes }
+func (t *Tree) Nodes() uint64 { return t.nodes.Load() }
 
 // MemoryBytes returns the total size of all node Bloom filters in bytes —
 // the quantity reported in the paper's memory tables (Tables 2–3, Fig. 14).
 func (t *Tree) MemoryBytes() uint64 {
 	perNode := (t.cfg.Bits + 63) / 64 * 8
-	return t.nodes * perNode
+	return t.nodes.Load() * perNode
+}
+
+// SubtreeEpochs returns a copy of the per-subtree growth epoch counters
+// of a pruned tree (one per stripe, in namespace order; each counts the
+// insert batches published into that subtree). Nil for full trees. The
+// counters let callers observe that concurrent inserts into different
+// subtrees really do proceed independently, and give cache layers a cheap
+// per-region invalidation signal.
+func (t *Tree) SubtreeEpochs() []uint64 {
+	if t.stripes == nil {
+		return nil
+	}
+	out := make([]uint64, len(t.stripes))
+	for i := range t.stripes {
+		out[i] = t.stripes[i].epoch.Load()
+	}
+	return out
+}
+
+// GrowthEpoch returns the total number of growth publishes across all
+// subtrees (0 for full trees); it advances exactly when new ids become
+// visible to queries.
+func (t *Tree) GrowthEpoch() uint64 {
+	var sum uint64
+	for i := range t.stripes {
+		sum += t.stripes[i].epoch.Load()
+	}
+	return sum
 }
 
 // NewQueryFilter returns an empty Bloom filter compatible with the tree

@@ -93,26 +93,26 @@ func TestBuildFullStructure(t *testing.T) {
 			return
 		}
 		for x := n.lo; x < n.hi; x++ {
-			if !n.f.Contains(x) {
+			if !n.filter().Contains(x) {
 				t.Fatalf("node [%d,%d) missing element %d", n.lo, n.hi, x)
 			}
 		}
-		if !n.isLeaf() {
-			u, err := n.left.f.Union(n.right.f)
+		if left, right := n.children(); left != nil || right != nil {
+			u, err := left.filter().Union(right.filter())
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !u.Equal(n.f) {
+			if !u.Equal(n.filter()) {
 				t.Fatalf("node [%d,%d) is not the union of its children", n.lo, n.hi)
 			}
-			if n.left.lo != n.lo || n.right.hi != n.hi || n.left.hi != n.right.lo {
+			if left.lo != n.lo || right.hi != n.hi || left.hi != right.lo {
 				t.Fatalf("children do not partition [%d,%d)", n.lo, n.hi)
 			}
-			walk(n.left)
-			walk(n.right)
+			walk(left)
+			walk(right)
 		}
 	}
-	walk(tree.root)
+	walk(tree.rootNode())
 }
 
 func TestBuildFullNonPowerOfTwoNamespace(t *testing.T) {
@@ -125,14 +125,15 @@ func TestBuildFullNonPowerOfTwoNamespace(t *testing.T) {
 	var leaves []*node
 	var walk func(n *node)
 	walk = func(n *node) {
-		if n.isLeaf() {
+		left, right := n.children()
+		if left == nil && right == nil {
 			leaves = append(leaves, n)
 			return
 		}
-		walk(n.left)
-		walk(n.right)
+		walk(left)
+		walk(right)
 	}
-	walk(tree.root)
+	walk(tree.rootNode())
 	if len(leaves) != 32 {
 		t.Fatalf("leaves = %d, want 32", len(leaves))
 	}

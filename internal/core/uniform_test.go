@@ -112,7 +112,7 @@ func TestUniformSamplerEmptyQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.MaxAttempts = 16 // keep the failure path fast
+	s.SetMaxAttempts(16) // keep the failure path fast
 	if _, err := s.Sample(rng, nil); err != ErrNoSample {
 		t.Fatalf("err = %v, want ErrNoSample", err)
 	}

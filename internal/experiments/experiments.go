@@ -49,6 +49,10 @@ type Config struct {
 	// paper scale: 2.2B namespace, 7.2M ids; 100 = 22M namespace, 72K
 	// ids). Structure (256 leaves, fractions) is preserved.
 	TwitterScale int
+	// WriteFrac is the fraction of operations that are writes in the
+	// concurrency experiment's read/write mix (0 = read-only sampling,
+	// 0.5 = every other operation is an Add to the sampled key).
+	WriteFrac float64
 	// ChiSqRoundsFactor is T/n for the uniformity test (paper: 130).
 	ChiSqRoundsFactor int
 }

@@ -72,8 +72,9 @@ func TestConcurrentReadWriteMix(t *testing.T) {
 	}
 }
 
-// TestConcurrentPrunedGrowth checks that pruned-tree growth (Add) is
-// correctly serialized against concurrent sampling via the tree gate.
+// TestConcurrentPrunedGrowth checks that pruned-tree growth (Add) and
+// concurrent sampling coexist on the lock-free epoch-based growth path:
+// queries never wait, and every published id stays reachable.
 func TestConcurrentPrunedGrowth(t *testing.T) {
 	db, err := Open(testOptions(t, true))
 	if err != nil {
@@ -110,37 +111,182 @@ func TestConcurrentPrunedGrowth(t *testing.T) {
 	wg.Wait()
 }
 
-// TestConcurrentDynamicMix mixes dynamic-set mutation with snapshots and
-// sampling under -race.
+// TestConcurrentDynamicMix mixes dynamic-set mutation — AddDynamic AND
+// RemoveDynamic — with snapshots, sampling and reconstruction under
+// -race. Each goroutine removes only ids it added itself, so every
+// remove targets a member and the final membership is predictable: the
+// seed ids survive, every id a goroutine left in place survives, and
+// every removed id is gone.
 func TestConcurrentDynamicMix(t *testing.T) {
 	db, err := Open(testOptions(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := db.AddDynamic("dyn", 10, 20, 30, 40, 50); err != nil {
+	seeds := []uint64{10, 20, 30, 40, 50}
+	if err := db.AddDynamic("dyn", seeds...); err != nil {
 		t.Fatal(err)
 	}
+	const perG = 30
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			for i := 0; i < 30; i++ {
-				switch i % 4 {
+			for i := 0; i < perG; i++ {
+				own := uint64(100 + g*1000 + i)
+				switch i % 6 {
 				case 0:
-					db.AddDynamic("dyn", uint64(100+g*1000+i))
+					if err := db.AddDynamic("dyn", own); err != nil {
+						t.Error(err)
+					}
 				case 1:
-					db.ContainsDynamic("dyn", uint64(rng.Intn(1000)))
+					// Add then remove an id this goroutine owns; the pair
+					// races other goroutines' mutations but never targets
+					// their ids.
+					if err := db.AddDynamic("dyn", own); err != nil {
+						t.Error(err)
+					}
+					if err := db.RemoveDynamic("dyn", own); err != nil {
+						t.Error(err)
+					}
 				case 2:
-					db.SampleDynamic("dyn", rng, nil)
+					db.ContainsDynamic("dyn", uint64(rng.Intn(1000)))
 				case 3:
+					db.SampleDynamic("dyn", rng, nil)
+				case 4:
+					db.ReconstructDynamic("dyn", core.PruneByAndBits, nil)
+				case 5:
 					db.DynamicKeys()
+					db.SnapshotDynamic("dyn")
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
+	for _, id := range seeds {
+		ok, err := db.ContainsDynamic("dyn", id)
+		if err != nil || !ok {
+			t.Fatalf("seed id %d lost after churn (ok=%v err=%v)", id, ok, err)
+		}
+	}
+	// Ids added in case 0 (never removed) must be members; a plain filter
+	// snapshot of the final state must agree.
+	snap, err := db.SnapshotDynamic("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 8; g++ {
+		for i := 0; i < perG; i += 6 { // case 0 iterations
+			id := uint64(100 + g*1000 + i)
+			if ok, _ := db.ContainsDynamic("dyn", id); !ok {
+				t.Fatalf("kept id %d lost", id)
+			}
+			if !snap.Contains(id) {
+				t.Fatalf("kept id %d missing from snapshot", id)
+			}
+		}
+	}
+}
+
+// TestConcurrentSamplerShared pins the new Sampler contract: one Sampler
+// instance shared by many goroutines keeps serving valid members while a
+// writer goroutine keeps growing the same key (forcing copy-on-write
+// filter swaps and sampler retargets).
+func TestConcurrentSamplerShared(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed with a design-sized set so the rejection sampler's initial
+	// safety factor (∝ leaves/n̂) stays small and draws stay cheap.
+	seedRng := rand.New(rand.NewSource(7))
+	seedIDs := make([]uint64, 400)
+	for i := range seedIDs {
+		seedIDs[i] = seedRng.Uint64() % 1_000_000
+	}
+	if err := db.Add("hot", seedIDs...); err != nil {
+		t.Fatal(err)
+	}
+	us, err := db.UniformSampler("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// A bounded writer keeps the key growing (each Add publishes a
+		// copy-on-write swap the samplers must follow); keeping the set
+		// small keeps the rejection loops fast under -race.
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 60; i++ {
+			if err := db.Add("hot", uint64(rng.Intn(1_000_000))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < 25; i++ {
+				x, err := us.Sample(rng, nil)
+				if err == core.ErrNoSample {
+					continue
+				}
+				if err != nil {
+					t.Errorf("shared sampler: %v", err)
+					return
+				}
+				// The sample must be a member of some published version —
+				// the current filter is a superset of all earlier ones.
+				if ok, cerr := db.Contains("hot", x); cerr != nil || !ok {
+					t.Errorf("sample %d not a member (err=%v)", x, cerr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := us.Stats(); st.Accepted == 0 {
+		t.Fatal("shared sampler accepted nothing")
+	}
+}
+
+// TestConcurrentAddSameKey pins the copy-on-write write path against lost
+// updates: many writers hammering ONE key publish serialized clone-swaps,
+// so every id from every writer must be present afterwards.
+func TestConcurrentAddSameKey(t *testing.T) {
+	db, err := Open(testOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perW = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := db.Add("one", uint64(g*perW+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for id := uint64(0); id < writers*perW; id++ {
+		if ok, err := db.Contains("one", id); err != nil || !ok {
+			t.Fatalf("id %d lost to a concurrent COW swap (ok=%v err=%v)", id, ok, err)
+		}
+	}
+	if f := db.Filter("one"); f.Insertions() != writers*perW {
+		t.Fatalf("insertions = %d, want %d", f.Insertions(), writers*perW)
+	}
 }
 
 func TestSampleMany(t *testing.T) {

@@ -17,73 +17,76 @@ import (
 //
 // Dynamic sets live in a separate key space from plain sets (a key is
 // either plain or dynamic; mixing is an error) and cost 8× the filter
-// memory. They shard with the plain sets: a key's plain and dynamic
-// entries always share one lock.
+// memory. They shard with the plain sets — a key's plain and dynamic
+// entries always live in the same shard snapshot — and they follow the
+// same copy-on-write discipline: mutations publish a fresh immutable
+// counting filter, so readers (and the memoized Snapshot projection)
+// never observe a set mid-update.
 
 // AddDynamic inserts ids into the dynamic (deletable) set under key,
-// creating it on first use.
+// creating it on first use. On a pruned database the shared tree grows
+// to cover the new ids before the update is published; the growth runs
+// outside the shard lock (the tree has its own per-subtree
+// synchronization), so a slow tree epoch never stalls the shard's other
+// writers, and readers are never stalled by anything.
 func (db *DB) AddDynamic(key string, ids ...uint64) error {
-	for _, id := range ids {
-		if id >= db.opts.Namespace {
-			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
-		}
+	if err := db.validateIDs(ids); err != nil {
+		return err
 	}
 	s := db.shardOf(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, clash := s.sets[key]; clash {
+	// Advisory clash precheck before paying for tree growth; the
+	// authoritative check runs under the shard mutex below.
+	if _, clash := s.load().sets[key]; clash {
 		return fmt.Errorf("setdb: %q already exists as a plain set", key)
 	}
-	if s.dynamic == nil {
-		s.dynamic = map[string]*bloom.CountingFilter{}
+	if err := db.growTree(ids); err != nil {
+		return err
 	}
-	c, ok := s.dynamic[key]
-	if !ok {
-		c = bloom.NewCounting(db.fam)
-		s.dynamic[key] = c
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.load()
+	if _, clash := cur.sets[key]; clash {
+		return fmt.Errorf("setdb: %q already exists as a plain set", key)
 	}
-	for _, id := range ids {
-		c.Add(id)
-	}
-	if db.opts.Pruned {
-		db.treeMu.Lock()
-		defer db.treeMu.Unlock()
+	var next *bloom.CountingFilter
+	if c, ok := cur.dynamic[key]; ok {
+		next = c.CloneAdd(ids...)
+	} else {
+		next = bloom.NewCounting(db.fam)
 		for _, id := range ids {
-			if err := db.tree.Insert(id); err != nil {
-				return err
-			}
+			next.Add(id)
 		}
 	}
+	s.state.Store(cur.withDynamic(key, next))
 	return nil
 }
 
 // RemoveDynamic removes one insertion of each id from the dynamic set
-// under key. Removing an id that is not currently a member is an error
-// and leaves the set unchanged. (The shared pruned tree retains the id's
-// range — tree occupancy is monotone — which affects only performance,
-// not correctness.)
+// under key. The batch is all-or-nothing: removing an id that is not
+// currently a member is an error and leaves the whole set unchanged —
+// no partially-removed state is ever published. (The shared pruned tree
+// retains the id's range — tree occupancy is monotone — which affects
+// only performance, never correctness.)
 func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
 	s := db.shardOf(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c, ok := s.dynamic[key]
+	cur := s.load()
+	c, ok := cur.dynamic[key]
 	if !ok {
 		return fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
-	for _, id := range ids {
-		if err := c.Remove(id); err != nil {
-			return err
-		}
+	next, err := c.CloneRemove(ids...)
+	if err != nil {
+		return err
 	}
+	s.state.Store(cur.withDynamic(key, next))
 	return nil
 }
 
 // ContainsDynamic reports membership in the dynamic set under key.
 func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.dynamic[key]
+	c, ok := db.shardOf(key).load().dynamic[key]
 	if !ok {
 		return false, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
@@ -92,12 +95,11 @@ func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
 
 // SnapshotDynamic returns a point-in-time plain filter of the dynamic
 // set, compatible with the shared tree (and with every plain set). The
-// snapshot is private to the caller.
+// snapshot is immutable and shared (it is memoized on the published
+// counting-filter version until the next mutation): treat it as
+// read-only.
 func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.dynamic[key]
+	c, ok := db.shardOf(key).load().dynamic[key]
 	if !ok {
 		return nil, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
@@ -105,16 +107,13 @@ func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
 }
 
 // SampleDynamic draws one element from the current state of the dynamic
-// set under key. The snapshot is taken under the shard lock; the tree
-// query then runs lock-free against the private snapshot (read-gated on
-// pruned databases).
+// set under key. The snapshot is a lock-free load of the published
+// version; the tree query then runs against that immutable projection.
 func (db *DB) SampleDynamic(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
 	snap, err := db.SnapshotDynamic(key)
 	if err != nil {
 		return 0, err
 	}
-	db.rlockTree()
-	defer db.runlockTree()
 	return db.tree.Sample(snap, rng, ops)
 }
 
@@ -125,8 +124,6 @@ func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops)
 	if err != nil {
 		return nil, err
 	}
-	db.rlockTree()
-	defer db.runlockTree()
 	return db.tree.Reconstruct(snap, rule, ops)
 }
 
@@ -134,12 +131,9 @@ func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops)
 func (db *DB) DynamicKeys() []string {
 	var keys []string
 	for i := range db.shards {
-		s := &db.shards[i]
-		s.mu.RLock()
-		for k := range s.dynamic {
+		for k := range db.shards[i].load().dynamic {
 			keys = append(keys, k)
 		}
-		s.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys

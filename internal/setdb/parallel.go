@@ -10,10 +10,11 @@ import (
 	"repro/internal/core"
 )
 
-// Batch read APIs. These exploit the lock-free read path: stored filters
-// and the tree are never mutated by queries, so the workers below run
-// genuinely in parallel, each with its own rand source and Ops
-// accumulator, all sharing the same stored filter.
+// Batch read APIs. These exploit the wait-free read path: stored filters
+// are immutable versions published through atomic shard snapshots and
+// the tree is never mutated in place, so the workers below run genuinely
+// in parallel, each with its own rand source and Ops accumulator, all
+// sharing the same stored filter — with no locks to take at any point.
 
 // SampleMany draws n samples from the set under key using up to
 // GOMAXPROCS goroutines. The samples follow the same per-sample
@@ -31,27 +32,20 @@ func (db *DB) SampleMany(key string, n int) ([]uint64, error) {
 // GOMAXPROCS) and an optional Ops accumulator that receives the summed
 // operation counts of all workers.
 func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]uint64, error) {
-	// Snapshot the stored filter under a brief shard read lock, then
-	// release it: the workers sample the private clone, so a long batch
-	// never pins the shard (a queued writer would otherwise stall every
-	// other reader of the shard for the batch's duration). The clone also
-	// gives the batch a consistent view — concurrent Adds to the key
-	// apply to the next batch, not halfway through this one. A missing
-	// key errors even for n <= 0, so the batch API always validates key
-	// existence.
-	s := db.shardOf(key)
-	s.mu.RLock()
-	stored, ok := s.sets[key]
+	// Load the published filter version once: it is immutable, so the
+	// whole batch shares it directly — no clone, no lock, and a
+	// consistent view for free (concurrent Adds to the key publish new
+	// versions that apply to the next batch, not halfway through this
+	// one). A missing key errors even for n <= 0, so the batch API
+	// always validates key existence.
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
-		s.mu.RUnlock()
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
 	if n <= 0 {
-		s.mu.RUnlock()
 		return nil, nil
 	}
-	f := stored.Clone()
-	s.mu.RUnlock()
+	f := e.f
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -81,14 +75,7 @@ func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]ui
 				wops = &res.ops
 			}
 			for i := 0; i < quota; i++ {
-				// Take the pruned-tree gate per draw, not per batch:
-				// samples need no cross-draw tree consistency, and a
-				// long-held read gate would stall writers (and, through
-				// Go's writer-pending RWMutex semantics, all other
-				// readers) for the batch's whole duration.
-				db.rlockTree()
 				x, err := db.tree.Sample(f, rng, wops)
-				db.runlockTree()
 				if err == core.ErrNoSample {
 					continue // a false-positive path; try the next draw
 				}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bloom"
 	"repro/internal/core"
@@ -80,18 +81,77 @@ var ErrNoSet = errors.New("setdb: no set")
 
 // numShards is the number of key shards the set maps are split across.
 // Writers to different shards never contend; the count is an internal
-// constant (not persisted) sized so that even write-heavy workloads on a
-// many-core machine rarely collide.
-const numShards = 16
+// constant (not persisted). It also bounds the copy-on-write cost of a
+// single write — a writer copies only its own shard's key map — so it is
+// sized generously for many-core write-heavy workloads.
+const numShards = 64
 
-// shard is one slice of the key space, with its own lock. Plain and
-// dynamic sets for a key always live in the same shard, so the
-// plain/dynamic clash check needs only one lock.
-type shard struct {
-	mu      sync.RWMutex
-	sets    map[string]*bloom.Filter
+// setEntry is one stored plain set: an immutable filter plus the
+// generation stamped when the key was created and the version advanced
+// on every copy-on-write swap. The generation survives filter swaps
+// (Add) but not Delete/re-Add, which is how a Sampler distinguishes "my
+// set grew" (recalibrate and continue) from "my set was replaced" (fail
+// loudly); the monotone version lets the Sampler retarget strictly
+// forward even when goroutines race with stale snapshots in hand.
+type setEntry struct {
+	f   *bloom.Filter
+	gen uint64
+	ver uint64
+}
+
+// shardState is the immutable snapshot of one shard: readers load it from
+// the shard's atomic pointer and never lock. Both maps (and every filter
+// they reach) are frozen once published; a writer builds the next
+// snapshot by copying the map it modifies and publishes it with a single
+// store. An untouched map is carried over by reference.
+type shardState struct {
+	sets    map[string]setEntry
 	dynamic map[string]*bloom.CountingFilter
 }
+
+// withSet returns a successor snapshot with key bound to e.
+func (st *shardState) withSet(key string, e setEntry) *shardState {
+	next := &shardState{sets: make(map[string]setEntry, len(st.sets)+1), dynamic: st.dynamic}
+	for k, v := range st.sets {
+		next.sets[k] = v
+	}
+	next.sets[key] = e
+	return next
+}
+
+// withoutSet returns a successor snapshot with key removed.
+func (st *shardState) withoutSet(key string) *shardState {
+	next := &shardState{sets: make(map[string]setEntry, len(st.sets)), dynamic: st.dynamic}
+	for k, v := range st.sets {
+		if k != key {
+			next.sets[k] = v
+		}
+	}
+	return next
+}
+
+// withDynamic returns a successor snapshot with key bound to c.
+func (st *shardState) withDynamic(key string, c *bloom.CountingFilter) *shardState {
+	next := &shardState{sets: st.sets, dynamic: make(map[string]*bloom.CountingFilter, len(st.dynamic)+1)}
+	for k, v := range st.dynamic {
+		next.dynamic[k] = v
+	}
+	next.dynamic[key] = c
+	return next
+}
+
+// shard is one slice of the key space: an atomically swapped immutable
+// snapshot plus a small mutex that serializes the shard's writers (and
+// only them — readers never touch it). Plain and dynamic sets for a key
+// always live in the same shard, so the plain/dynamic clash check needs
+// only one snapshot.
+type shard struct {
+	mu    sync.Mutex
+	state atomic.Pointer[shardState]
+}
+
+// load returns the shard's current snapshot.
+func (s *shard) load() *shardState { return s.state.Load() }
 
 // shardIndex maps a key to its shard with FNV-1a.
 func shardIndex(key string) int {
@@ -110,15 +170,17 @@ func shardIndex(key string) int {
 // DB is a keyed collection of Bloom-filter-encoded sets over one shared
 // namespace and one shared BloomSampleTree.
 //
-// DB is safe for concurrent use, and the query path is genuinely
-// parallel: every operation that evaluates a stored filter (Sample,
-// SampleN, Reconstruct, Contains, IntersectionEstimate, …) is read-only
-// on shared state and takes only a read lock, so any number of goroutines
-// can sample — even from the same key — simultaneously. Keys are sharded
-// across independently locked maps, so writers to different keys don't
-// serialize against each other either; a writer blocks readers only of
-// its own shard. On a pruned database, Add also grows the shared tree
-// under a tree-level write lock, briefly excluding queries.
+// DB is safe for concurrent use, and the read path is wait-free: every
+// operation that evaluates a stored filter (Sample, SampleN, Reconstruct,
+// Contains, IntersectionEstimate, …) loads an immutable shard snapshot
+// through an atomic pointer and touches no lock, so readers never block —
+// not on each other, and not on writers, even under a 100% write mix.
+// Writers are copy-on-write: Add/Delete serialize briefly on their
+// shard's mutex, build the successor snapshot (cloning only the filter
+// and map they change) and publish it with one atomic store; on a pruned
+// database the shared tree grows through its own lock-free epoch-based
+// path (core.Tree.InsertBatch) before the new filter becomes visible, so
+// a published set is always coverable by the tree.
 //
 // SampleMany and ReconstructAll (parallel.go) exploit these guarantees
 // with internal worker pools.
@@ -126,7 +188,7 @@ type DB struct {
 	opts   Options
 	fam    hashfam.Family
 	tree   *core.Tree
-	treeMu sync.RWMutex // serializes pruned-tree growth against queries
+	gen    atomic.Uint64 // key-lifetime generator for setEntry.gen
 	shards [numShards]shard
 }
 
@@ -165,31 +227,15 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: opts, fam: fam, tree: tree}
+	empty := &shardState{}
 	for i := range db.shards {
-		db.shards[i].sets = map[string]*bloom.Filter{}
+		db.shards[i].state.Store(empty)
 	}
 	return db, nil
 }
 
 // shardOf returns the shard responsible for key.
 func (db *DB) shardOf(key string) *shard { return &db.shards[shardIndex(key)] }
-
-// rlockTree / runlockTree bracket the tree read gate on pruned databases
-// (whose tree can grow concurrently); full trees are immutable after
-// Open, so their queries take no tree lock at all. A paired function
-// (rather than a returned unlock closure) keeps the hot read path
-// allocation-free.
-func (db *DB) rlockTree() {
-	if db.opts.Pruned {
-		db.treeMu.RLock()
-	}
-}
-
-func (db *DB) runlockTree() {
-	if db.opts.Pruned {
-		db.treeMu.RUnlock()
-	}
-}
 
 // Options returns the database's (defaulted) options.
 func (db *DB) Options() Options { return db.opts }
@@ -202,10 +248,7 @@ func (db *DB) Tree() *core.Tree { return db.tree }
 func (db *DB) Len() int {
 	n := 0
 	for i := range db.shards {
-		s := &db.shards[i]
-		s.mu.RLock()
-		n += len(s.sets)
-		s.mu.RUnlock()
+		n += len(db.shards[i].load().sets)
 	}
 	return n
 }
@@ -214,49 +257,67 @@ func (db *DB) Len() int {
 func (db *DB) Keys() []string {
 	var keys []string
 	for i := range db.shards {
-		s := &db.shards[i]
-		s.mu.RLock()
-		for k := range s.sets {
+		for k := range db.shards[i].load().sets {
 			keys = append(keys, k)
 		}
-		s.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// Add inserts ids into the set stored under key, creating it on first
-// use. On a pruned database the shared tree grows to cover the new ids.
-func (db *DB) Add(key string, ids ...uint64) error {
+// validateIDs checks every id against the namespace bound.
+func (db *DB) validateIDs(ids []uint64) error {
 	for _, id := range ids {
 		if id >= db.opts.Namespace {
 			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
 		}
 	}
+	return nil
+}
+
+// growTree covers ids in the shared pruned tree. It runs before the new
+// filter version is published and outside any shard lock: tree growth has
+// its own per-subtree synchronization and never blocks readers, and ids
+// present in the tree but not (yet, or ever, if the write later fails)
+// in any filter only cost occupancy, never correctness.
+func (db *DB) growTree(ids []uint64) error {
+	if !db.opts.Pruned {
+		return nil
+	}
+	return db.tree.InsertBatch(ids)
+}
+
+// Add inserts ids into the set stored under key, creating it on first
+// use. On a pruned database the shared tree grows to cover the new ids
+// before the updated filter is published. The stored filter is replaced
+// by a copy-on-write clone, so in-flight readers of the previous version
+// are never disturbed and new readers see the update atomically.
+func (db *DB) Add(key string, ids ...uint64) error {
+	if err := db.validateIDs(ids); err != nil {
+		return err
+	}
 	s := db.shardOf(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, clash := s.dynamic[key]; clash {
+	// Advisory clash precheck before paying for tree growth; the
+	// authoritative check runs under the shard mutex below.
+	if _, clash := s.load().dynamic[key]; clash {
 		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
 	}
-	f, ok := s.sets[key]
-	if !ok {
-		f = bloom.New(db.fam)
-		s.sets[key] = f
+	if err := db.growTree(ids); err != nil {
+		return err
 	}
-	var buf []uint64
-	for _, id := range ids {
-		buf = f.AddScratch(id, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.load()
+	if _, clash := cur.dynamic[key]; clash {
+		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
 	}
-	if db.opts.Pruned {
-		db.treeMu.Lock()
-		defer db.treeMu.Unlock()
-		for _, id := range ids {
-			if err := db.tree.Insert(id); err != nil {
-				return err
-			}
-		}
+	e, ok := cur.sets[key]
+	if ok {
+		e = setEntry{f: e.f.CloneAdd(ids...), gen: e.gen, ver: e.ver + 1}
+	} else {
+		e = setEntry{f: bloom.NewFromElements(db.fam, ids), gen: db.gen.Add(1)}
 	}
+	s.state.Store(cur.withSet(key, e))
 	return nil
 }
 
@@ -266,95 +327,101 @@ func (db *DB) Delete(key string) bool {
 	s := db.shardOf(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.sets[key]
-	delete(s.sets, key)
-	return ok
+	cur := s.load()
+	if _, ok := cur.sets[key]; !ok {
+		return false
+	}
+	s.state.Store(cur.withoutSet(key))
+	return true
 }
 
 // Filter returns the stored filter for key (nil if absent). The returned
-// filter is shared — do not mutate it (use Add), and be aware that a
-// concurrent Add to the same key mutates it in place; hold off on writes
-// to the key while reading the filter directly.
+// filter is immutable: an Add to the same key publishes a new version
+// rather than mutating it, so it is always safe to keep reading.
 func (db *DB) Filter(key string) *bloom.Filter {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sets[key]
+	return db.shardOf(key).load().sets[key].f
 }
 
 // Contains reports whether id answers positively for the set under key.
 func (db *DB) Contains(key string, id uint64) (bool, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.sets[key]
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
 		return false, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	return f.Contains(id), nil
+	return e.f.Contains(id), nil
 }
 
 // Sample draws one element from the set under key using BSTSample.
 func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.sets[key]
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
 		return 0, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	db.rlockTree()
-	defer db.runlockTree()
-	return db.tree.Sample(f, rng, ops)
+	return db.tree.Sample(e.f, rng, ops)
 }
 
 // SampleN draws r elements in a single tree pass (§5.3).
 func (db *DB) SampleN(key string, r int, withReplacement bool, rng *rand.Rand, ops *core.Ops) ([]uint64, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.sets[key]
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	db.rlockTree()
-	defer db.runlockTree()
-	return db.tree.SampleN(f, r, withReplacement, rng, ops)
+	return db.tree.SampleN(e.f, r, withReplacement, rng, ops)
 }
 
 // Sampler is a rejection-corrected exactly-uniform sampler bound to its
-// database (see core.UniformSampler). Each draw takes the key's shard
-// read lock and — on pruned databases — the tree read gate, so it stays
-// safe against concurrent Adds anywhere in the database. A Sampler
-// instance self-calibrates and is not safe for concurrent use; create
-// one per goroutine. Its calibration snapshots the stored set's
-// estimated cardinality at creation time; rebuild it after large Adds to
-// its key. Deleting (or deleting and re-adding) the key invalidates the
-// sampler: subsequent draws return ErrSamplerInvalid.
+// database key (see core.UniformSampler). It is shareable: any number of
+// goroutines may draw from one Sampler concurrently (each with its own
+// rand source), and it follows its key across copy-on-write Adds by
+// retargeting the underlying sampler to the newly published filter
+// version — recalibrating through an atomic max over the cardinality
+// estimate, so no draw ever blocks on a writer. Deleting (or deleting
+// and re-adding) the key invalidates the sampler: subsequent draws
+// return ErrSamplerInvalid.
 type Sampler struct {
 	db  *DB
-	sh  *shard
 	key string
-	f   *bloom.Filter // the stored filter the sampler was calibrated on
+	gen uint64 // key lifetime the sampler is bound to
 	u   *core.UniformSampler
+
+	// ver is the entry version u was last retargeted to; retargetMu
+	// serializes the (rare) retargets so the underlying sampler can only
+	// ever move forward — a goroutine holding a stale shard snapshot
+	// must not rebind the shared sampler to an older filter version.
+	// Draws never block on it: a draw that fails to acquire it simply
+	// samples the version already bound, which is equally valid.
+	ver        atomic.Uint64
+	retargetMu sync.Mutex
 }
 
 // ErrSamplerInvalid is returned by Sampler.Sample after the sampler's key
-// is Deleted (or Deleted and re-Added): the sampler is calibrated on the
-// old filter and would silently keep serving the deleted set version.
+// is Deleted (or Deleted and re-Added): the sampler is bound to the old
+// key lifetime and would silently keep serving the deleted set version.
 var ErrSamplerInvalid = fmt.Errorf("setdb: sampler invalidated: its set was deleted or replaced")
 
 // Sample draws one uniform element; see core.UniformSampler.Sample. It
 // returns ErrSamplerInvalid if the sampler's key no longer maps to the
-// filter it was created on.
+// key lifetime it was created on.
 func (s *Sampler) Sample(rng *rand.Rand, ops *core.Ops) (uint64, error) {
-	s.sh.mu.RLock()
-	defer s.sh.mu.RUnlock()
-	if s.sh.sets[s.key] != s.f {
+	e, ok := s.db.shardOf(s.key).load().sets[s.key]
+	if !ok || e.gen != s.gen {
 		return 0, ErrSamplerInvalid
 	}
-	s.db.rlockTree()
-	defer s.db.runlockTree()
+	if e.ver > s.ver.Load() && s.retargetMu.TryLock() {
+		// The key grew since the last retarget: follow it strictly
+		// forward. The version re-check under the mutex (and the mutex
+		// itself) keep a goroutine with a stale snapshot from rebinding
+		// the shared sampler backward; a draw that loses TryLock just
+		// samples the currently bound version, which is equally valid.
+		if e.ver > s.ver.Load() {
+			if err := s.u.Retarget(e.f); err != nil {
+				s.retargetMu.Unlock()
+				return 0, err
+			}
+			s.ver.Store(e.ver)
+		}
+		s.retargetMu.Unlock()
+	}
 	return s.u.Sample(rng, ops)
 }
 
@@ -378,59 +445,43 @@ func (s *Sampler) SampleN(r int, rng *rand.Rand, ops *core.Ops) ([]uint64, error
 func (s *Sampler) Stats() core.UniformStats { return s.u.Stats() }
 
 // UniformSampler returns a rejection-corrected exactly-uniform sampler
-// for the set under key. The returned Sampler locks per draw, so it is
-// safe to keep using while other goroutines Add to the database.
+// for the set under key. The returned Sampler is lock-free on every draw
+// and safe to share across goroutines; it keeps serving (and
+// self-recalibrating) while other goroutines Add to the database,
+// including to its own key.
 func (db *DB) UniformSampler(key string) (*Sampler, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.sets[key]
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	db.rlockTree()
-	defer db.runlockTree()
-	u, err := db.tree.NewUniformSampler(f)
+	u, err := db.tree.NewUniformSampler(e.f)
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{db: db, sh: s, key: key, f: f, u: u}, nil
+	s := &Sampler{db: db, key: key, gen: e.gen, u: u}
+	s.ver.Store(e.ver)
+	return s, nil
 }
 
 // Reconstruct returns the set stored under key (§6).
 func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uint64, error) {
-	s := db.shardOf(key)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.sets[key]
+	e, ok := db.shardOf(key).load().sets[key]
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	db.rlockTree()
-	defer db.runlockTree()
-	return db.tree.Reconstruct(f, rule, ops)
+	return db.tree.Reconstruct(e.f, rule, ops)
 }
 
-// IntersectionEstimate estimates |A ∩ B| for two stored sets.
+// IntersectionEstimate estimates |A ∩ B| for two stored sets. The two
+// shard snapshots are loaded independently (no locks, so no ordering
+// concerns); each filter is an immutable point-in-time version.
 func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
-	ia, ib := shardIndex(keyA), shardIndex(keyB)
-	sa, sb := &db.shards[ia], &db.shards[ib]
-	// Lock in shard-index order so concurrent estimates can't deadlock.
-	if ia > ib {
-		ia, ib = ib, ia
-	}
-	db.shards[ia].mu.RLock()
-	defer db.shards[ia].mu.RUnlock()
-	if ib != ia {
-		db.shards[ib].mu.RLock()
-		defer db.shards[ib].mu.RUnlock()
-	}
-	a, okA := sa.sets[keyA]
-	b, okB := sb.sets[keyB]
+	a, okA := db.shardOf(keyA).load().sets[keyA]
+	b, okB := db.shardOf(keyB).load().sets[keyB]
 	if !okA || !okB {
 		return 0, fmt.Errorf("%w %q or %q", ErrNoSet, keyA, keyB)
 	}
-	return bloom.EstimateIntersectionOf(a, b), nil
+	return bloom.EstimateIntersectionOf(a.f, b.f), nil
 }
 
 // File format:
@@ -444,14 +495,28 @@ func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
 // validated against the database profile on load.
 const dbMagic = "SETDB1"
 
-// WriteTo serializes the database. It implements io.WriterTo. All shards
-// are read-locked for the duration, so the snapshot is consistent;
-// concurrent readers proceed, writers wait.
-func (db *DB) WriteTo(w io.Writer) (int64, error) {
+// snapshotAll captures a cross-shard-consistent view of the database by
+// briefly holding every shard's writer mutex while loading the snapshots.
+// Readers are unaffected; writers wait only for the pointer loads.
+func (db *DB) snapshotAll() [numShards]*shardState {
+	var states [numShards]*shardState
 	for i := range db.shards {
-		db.shards[i].mu.RLock()
-		defer db.shards[i].mu.RUnlock()
+		db.shards[i].mu.Lock()
 	}
+	for i := range db.shards {
+		states[i] = db.shards[i].load()
+	}
+	for i := range db.shards {
+		db.shards[i].mu.Unlock()
+	}
+	return states
+}
+
+// WriteTo serializes the database. It implements io.WriterTo. The
+// snapshot is consistent across shards; neither readers nor writers are
+// blocked while the bytes are produced.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	states := db.snapshotAll()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if _, err := bw.WriteString(dbMagic); err != nil {
@@ -477,8 +542,8 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	var keys []string
-	for i := range db.shards {
-		for k := range db.shards[i].sets {
+	for i := range states {
+		for k := range states[i].sets {
 			keys = append(keys, k)
 		}
 	}
@@ -492,7 +557,7 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		if len(k) > 1<<16-1 {
 			return cw.n, fmt.Errorf("setdb: key %.20q... too long", k)
 		}
-		data, err := db.shardOf(k).sets[k].MarshalBinary()
+		data, err := states[shardIndex(k)].sets[k].f.MarshalBinary()
 		if err != nil {
 			return cw.n, err
 		}
@@ -573,6 +638,9 @@ func parse(r io.Reader) (*DB, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(cnt[:])
+	// Accumulate per-shard maps and publish each snapshot once, so the
+	// load is O(keys), not O(keys × shard size).
+	var sets [numShards]map[string]setEntry
 	for i := uint32(0); i < count; i++ {
 		var kl [2]byte
 		if _, err := io.ReadFull(br, kl[:]); err != nil {
@@ -598,7 +666,16 @@ func parse(r io.Reader) (*DB, error) {
 			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
 		}
 		k := string(key)
-		db.shardOf(k).sets[k] = f
+		si := shardIndex(k)
+		if sets[si] == nil {
+			sets[si] = map[string]setEntry{}
+		}
+		sets[si][k] = setEntry{f: f, gen: db.gen.Add(1)}
+	}
+	for i := range db.shards {
+		if sets[i] != nil {
+			db.shards[i].state.Store(&shardState{sets: sets[i]})
+		}
 	}
 	return db, nil
 }
