@@ -6,13 +6,15 @@
 //	bstbench -exp all -full         # everything at paper scale (hours!)
 //	bstbench -exp tab5 -csv out/    # also write CSV files
 //	bstbench -exp concurrency       # sampled-per-second vs goroutine count
+//	bstbench -exp serving -json BENCH_serving.json   # HTTP serving-layer load test
 //	bstbench -list                  # show available experiment ids
 //
 // Experiment ids follow the paper: fig3..fig15 are Figures 3–15, tab2..
 // tab6 are Tables 2–6, and abl-* are the DESIGN.md ablations. The extra
 // "concurrency" experiment measures SetDB parallel-sampling throughput
 // as the goroutine count grows — the scaling unlocked by the lock-free
-// read path.
+// read path — and "serving" drives the bstserved HTTP layer in-process
+// with a read/write client mix over real loopback connections.
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "override sampling rounds per cell")
 		hash      = flag.String("hash", "", "override hash family (simple|murmur3|md5|fnv)")
 		twScale   = flag.Int("twitter-scale", 0, "override Twitter-crawl scale divisor")
-		writeFrac = flag.Float64("writefrac", 0, "write fraction for the concurrency experiment's read/write mix (0..1)")
+		writeFrac = flag.Float64("writefrac", 0, "write fraction for the concurrency/serving experiments' read/write mix (0..1)")
 	)
 	flag.Parse()
 
@@ -150,7 +152,18 @@ func writeJSON(path string, report *jsonReport) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Create missing parent directories (a trajectory path like
+	// bench/out/BENCH_serving.json should just work), and make the
+	// failure actionable when the path itself is unwritable.
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("creating parent directory for -json %s: %w", path, err)
+		}
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing -json output: %w", err)
+	}
+	return nil
 }
 
 func writeCSV(dir string, tbl *experiments.Table) error {

@@ -1,0 +1,153 @@
+// Command bstserved serves a setdb database over HTTP/JSON — the
+// network layer that lets many remote clients hit the lock-free sampling
+// and copy-on-write write paths at once.
+//
+// Usage:
+//
+//	bstserved                               # empty in-memory db, defaults
+//	bstserved -addr :9000 -demo 5000        # preload a "demo" set to curl against
+//	bstserved -db sets.db                   # serve a db built by an ingest job
+//	bstserved -db sets.db -ids occupied.txt # pruned db + its occupied ids
+//
+// Endpoints: POST /v1/sample, /v1/reconstruct, /v1/intersection, /v1/add,
+// /v1/remove; GET /v1/stats. See the README's "Serving over HTTP" section
+// for request/response schemas and example curl calls.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get -shutdown-timeout to finish before the listener is torn down.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/setdb"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dbPath    = flag.String("db", "", "setdb file to serve (empty: start a fresh in-memory database)")
+		idsPath   = flag.String("ids", "", "occupied-ids file (one decimal id per line) for loading a pruned database")
+		noSpace   = flag.Uint64("namespace", 1_000_000, "namespace size for a fresh database")
+		setSize   = flag.Uint64("setsize", 1000, "design set size for a fresh database")
+		accuracy  = flag.Float64("accuracy", 0.9, "design sampling accuracy for a fresh database")
+		k         = flag.Int("k", 3, "hash functions for a fresh database")
+		pruned    = flag.Bool("pruned", true, "use a pruned tree for a fresh database (grows on demand)")
+		demo      = flag.Int("demo", 0, "preload a plain set 'demo' with this many random ids (0: none)")
+		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest buffered sample n / add-remove id batch / reconstruction accepted (0: default)")
+		maxStream = flag.Int("max-stream-batch", server.DefaultMaxStreamBatch, "largest streaming (NDJSON) sample n accepted (0: default)")
+		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "largest request body in bytes (0: default)")
+		shutdown  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	db, err := openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned)
+	if err != nil {
+		log.Fatalf("bstserved: %v", err)
+	}
+	if *demo > 0 {
+		rng := rand.New(rand.NewSource(1))
+		ids := make([]uint64, *demo)
+		for i := range ids {
+			ids[i] = rng.Uint64() % db.Options().Namespace
+		}
+		if err := db.Add("demo", ids...); err != nil {
+			log.Fatalf("bstserved: preload demo set: %v", err)
+		}
+		log.Printf("preloaded plain set %q with %d ids", "demo", *demo)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(db, server.Config{MaxBatch: *maxBatch, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody}),
+		// ReadTimeout bounds a trickled request body the way the
+		// handler's per-chunk write deadlines bound a slow reader; no
+		// WriteTimeout, which would kill legitimate long NDJSON streams.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d sets on %s", db.Len(), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("bstserved: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *shutdown)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("bstserved: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("bstserved: %v", err)
+		}
+		log.Print("bye")
+	}
+}
+
+// openDB loads the database file (plus occupied ids for pruned trees) or
+// creates a fresh one from the planning flags.
+func openDB(dbPath, idsPath string, namespace, setSize uint64, accuracy float64, k int, pruned bool) (*setdb.DB, error) {
+	if dbPath == "" {
+		opts, err := setdb.PlanOptions(accuracy, setSize, namespace, k)
+		if err != nil {
+			return nil, err
+		}
+		opts.Pruned = pruned
+		return setdb.Open(opts)
+	}
+	var occupied []uint64
+	if idsPath != "" {
+		var err error
+		occupied, err = readIDs(idsPath)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", idsPath, err)
+		}
+	}
+	return setdb.Load(dbPath, occupied)
+}
+
+// readIDs parses one decimal id per line, skipping blanks.
+func readIDs(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ids []uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, sc.Err()
+}

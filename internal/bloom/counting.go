@@ -1,12 +1,19 @@
 package bloom
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/hashfam"
 )
+
+// ErrNotMember is wrapped by Remove/CloneRemove when the element to
+// remove is not currently a positive; match it with errors.Is. Callers
+// (e.g. a serving layer) use it to distinguish a client mistake from an
+// internal failure.
+var ErrNotMember = errors.New("bloom: remove of non-member")
 
 // CountingFilter is a counting Bloom filter: each position holds an 8-bit
 // saturating counter instead of one bit, so elements can be removed. The
@@ -23,11 +30,16 @@ import (
 // elements).
 //
 // Like Filter, the query side (Contains, Snapshot) is read-only and safe
-// for unsynchronized concurrent callers; the mutating operations (Add,
-// Remove, Reset) require external synchronization. The copy-on-write
-// forms (CloneAdd, CloneRemove) never mutate the receiver, so a publisher
-// holding filters behind an atomic pointer can apply them against the
-// current version and swap in the result without stalling readers.
+// for unsynchronized concurrent callers on a filter that is no longer
+// being mutated (e.g. one published immutably, as setdb does). The
+// mutating operations (Add, Remove, Reset) require external
+// synchronization against both mutators and readers: a Snapshot racing a
+// mutation may memoize the pre-mutation projection over the mutation's
+// cache invalidation, making the stale projection sticky until the next
+// mutation. The copy-on-write forms (CloneAdd, CloneRemove) never mutate
+// the receiver, so a publisher holding filters behind an atomic pointer
+// can apply them against the current version and swap in the result
+// without stalling readers.
 type CountingFilter struct {
 	counts []uint8
 	fam    hashfam.Family
@@ -80,7 +92,7 @@ func (c *CountingFilter) Remove(x uint64) error {
 	defer putPositions(bp, pos)
 	for _, p := range pos {
 		if c.counts[p] == 0 {
-			return fmt.Errorf("bloom: remove of non-member %d", x)
+			return fmt.Errorf("%w %d", ErrNotMember, x)
 		}
 	}
 	for _, p := range pos {

@@ -205,6 +205,7 @@ func Registry() map[string]Runner {
 		"abl-build":       RunAblationBuild,
 		"abl-hashinvert":  RunAblationHashInvert,
 		"concurrency":     RunConcurrency,
+		"serving":         RunServing,
 	}
 }
 
@@ -217,7 +218,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency",
+		"concurrency", "serving",
 	}
 }
 

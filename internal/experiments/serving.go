@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// RunServing measures the network serving layer end-to-end: it starts
+// the bstserved handler in-process on a real loopback listener and
+// drives it with a configurable read/write client mix over actual HTTP —
+// connection handling, JSON codec and all — as the client count grows.
+// Config.WriteFrac of the operations are POST /v1/add to the sampled key
+// (the same worst case as the concurrency experiment, now with the
+// serving stack on top); the rest are POST /v1/sample.
+//
+// A second table sweeps the batch size of a single client, comparing the
+// buffered-JSON and streaming-NDJSON response modes — the knob a client
+// turns when one logical request wants thousands of samples.
+func RunServing(c Config) ([]*Table, error) {
+	db, pool, M, n, err := benchDB(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host the handler on a real loopback listener (plain net/http, not
+	// the httptest harness, which doesn't belong in a shipped binary).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: server.New(db, server.Config{Seed: c.Seed + 1})}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	defer client.CloseIdleConnections()
+
+	const runFor = 100 * time.Millisecond
+
+	mixTbl := &Table{
+		ID: "serving",
+		Title: fmt.Sprintf("HTTP serving throughput, read/write client mix (M=%d, n=%d, writefrac=%.2f, GOMAXPROCS=%d)",
+			M, n, c.WriteFrac, runtime.GOMAXPROCS(0)),
+		Columns: []string{
+			"clients", "writefrac", "requests", "writes", "errors", "elapsed_ms", "req_per_sec", "avg_latency_us",
+		},
+	}
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		var requests, writes, errorsN, latencyNS atomic.Uint64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := c.rng(3000*uint64(clients) + uint64(w))
+				for time.Since(start) < runFor {
+					var path, body string
+					write := rng.Float64() < c.WriteFrac
+					if write {
+						path = "/v1/add"
+						body = fmt.Sprintf(`{"key":"bench","ids":[%d]}`, pool[rng.Intn(len(pool))])
+					} else {
+						path = "/v1/sample"
+						body = `{"key":"bench","n":1}`
+					}
+					t0 := time.Now()
+					ok := doPost(client, baseURL+path, body)
+					latencyNS.Add(uint64(time.Since(t0).Nanoseconds()))
+					requests.Add(1)
+					if !ok {
+						errorsN.Add(1)
+					} else if write {
+						writes.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		reqs := requests.Load()
+		avgUS := 0.0
+		if reqs > 0 {
+			avgUS = float64(latencyNS.Load()) / float64(reqs) / 1e3
+		}
+		mixTbl.Add(
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.2f", c.WriteFrac),
+			fmt.Sprintf("%d", reqs),
+			fmt.Sprintf("%d", writes.Load()),
+			fmt.Sprintf("%d", errorsN.Load()),
+			fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.0f", float64(reqs)/elapsed.Seconds()),
+			fmt.Sprintf("%.1f", avgUS),
+		)
+	}
+
+	batchTbl := &Table{
+		ID:      "serving_batch",
+		Title:   "HTTP sample batching: buffered JSON vs streaming NDJSON (single client)",
+		Columns: []string{"mode", "batch", "requests", "samples", "elapsed_ms", "samples_per_sec"},
+	}
+	for _, batch := range []int{1, 64, 512} {
+		for _, stream := range []bool{false, true} {
+			mode := "json"
+			if stream {
+				mode = "ndjson"
+			}
+			body := fmt.Sprintf(`{"key":"bench","n":%d,"stream":%v}`, batch, stream)
+			var reqs, samples uint64
+			start := time.Now()
+			for time.Since(start) < runFor {
+				got, err := postCountSamples(client, baseURL+"/v1/sample", body, stream)
+				if err != nil {
+					return nil, fmt.Errorf("serving batch cell (%s, n=%d): %w", mode, batch, err)
+				}
+				reqs++
+				samples += uint64(got)
+			}
+			elapsed := time.Since(start)
+			batchTbl.Add(
+				mode,
+				fmt.Sprintf("%d", batch),
+				fmt.Sprintf("%d", reqs),
+				fmt.Sprintf("%d", samples),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+				fmt.Sprintf("%.0f", float64(samples)/elapsed.Seconds()),
+			)
+		}
+	}
+	return []*Table{mixTbl, batchTbl}, nil
+}
+
+// doPost fires one JSON POST and reports whether it returned 200. The
+// body is drained so the connection is reused.
+func doPost(client *http.Client, url, body string) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	return resp.StatusCode == http.StatusOK
+}
+
+// postCountSamples fires one sample request and counts the ids in the
+// response, decoding whichever wire format the request selected.
+func postCountSamples(client *http.Client, url, body string, stream bool) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if !stream {
+		var sr server.SampleResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return 0, err
+		}
+		return sr.Returned, nil
+	}
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line server.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return n, err
+		}
+		if line.Error != "" {
+			return n, fmt.Errorf("in-band error: %s", line.Error)
+		}
+		if !line.Done {
+			n++
+		}
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics accumulates per-endpoint counters. All fields are
+// atomics: the hot path adds to them without locks, and /v1/stats reads
+// them without pausing traffic.
+type endpointMetrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	latencyNS atomic.Uint64 // cumulative, successful and failed alike
+	maxNS     atomic.Uint64
+}
+
+// observe records one finished request.
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := uint64(d.Nanoseconds())
+	m.latencyNS.Add(ns)
+	for {
+		old := m.maxNS.Load()
+		if ns <= old || m.maxNS.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the JSON form of one endpoint's counters.
+type EndpointStats struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyUS float64 `json:"avg_latency_us"`
+	MaxLatencyUS float64 `json:"max_latency_us"`
+	QPS          float64 `json:"qps"`
+}
+
+// snapshot renders the counters; uptime converts the request count into
+// a lifetime QPS.
+func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
+	st := EndpointStats{
+		Requests:     m.requests.Load(),
+		Errors:       m.errors.Load(),
+		MaxLatencyUS: float64(m.maxNS.Load()) / 1e3,
+	}
+	if st.Requests > 0 {
+		st.AvgLatencyUS = float64(m.latencyNS.Load()) / float64(st.Requests) / 1e3
+	}
+	if s := uptime.Seconds(); s > 0 {
+		st.QPS = float64(st.Requests) / s
+	}
+	return st
+}

@@ -1,0 +1,766 @@
+// Package server is the network serving layer over setdb.DB: an
+// HTTP/JSON API (command bstserved) that makes the lock-free sampling
+// and copy-on-write write paths reachable by many remote clients at
+// once.
+//
+// Endpoints (all JSON; POST bodies, GET for stats):
+//
+//	POST /v1/sample        draw n samples (single, batch, uniform, dynamic; NDJSON streaming)
+//	POST /v1/reconstruct   reconstruct a stored set
+//	POST /v1/intersection  estimate |A ∩ B| for two stored sets
+//	POST /v1/add           insert ids (plain copy-on-write or dynamic counting set)
+//	POST /v1/remove        remove ids from a dynamic set (all-or-nothing)
+//	GET  /v1/stats         shard/epoch/calibration introspection + per-endpoint metrics
+//
+// The handler layer adds nothing to the concurrency story — it doesn't
+// need to: every request body is decoded into a value, the database call
+// is lock-free (reads) or shard-serialized (writes), and the per-endpoint
+// metrics are atomics. Request limits (body size, batch size) bound the
+// work a single client can demand.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/setdb"
+)
+
+// Default request limits, shared with the bstserved flag definitions so
+// the -help text can never drift from the handler behavior.
+const (
+	DefaultMaxBatch       = 100_000
+	DefaultMaxStreamBatch = 10_000_000
+	DefaultMaxBodyBytes   = 1 << 20
+)
+
+// Config bounds and seeds a Server. The zero value gets sensible
+// defaults from withDefaults.
+type Config struct {
+	// MaxBatch caps the n of a buffered sample request, the ids of an
+	// add/remove request, and the (estimated) size of a reconstructed
+	// set (default DefaultMaxBatch). Oversized requests get 413.
+	MaxBatch int
+	// MaxStreamBatch caps the n of a streaming sample request (default
+	// DefaultMaxStreamBatch). Streaming holds only one chunk in memory,
+	// so it affords far larger batches than the buffered mode; this
+	// bounds the total draw work of one request, and StreamWriteTimeout
+	// bounds how long a slow reader can stretch it.
+	MaxStreamBatch int
+	// MaxBodyBytes caps a request body (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// StreamChunk is the draw granularity of the NDJSON streaming mode
+	// (default 4096): samples are drawn and flushed a chunk at a time, so
+	// a huge batch never buffers fully in server memory.
+	StreamChunk int
+	// StreamWriteTimeout bounds each chunk write of a streaming response
+	// (default 30s): a client reading too slowly fails its stream instead
+	// of pinning a handler goroutine for the server's lifetime.
+	StreamWriteTimeout time.Duration
+	// Seed makes uniform-mode sampling deterministic-ish for tests (each
+	// uniform request's rng derives from it); the plain/dynamic batch
+	// paths seed their workers internally. 0 seeds from the clock.
+	Seed uint64
+}
+
+// withDefaults normalizes unset limits. Zero and negative values both
+// fall back to the default: a limit of -1 would otherwise reject every
+// request, so healing beats bricking the whole API over a typo.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxStreamBatch <= 0 {
+		c.MaxStreamBatch = DefaultMaxStreamBatch
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = 4096
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = uint64(time.Now().UnixNano())
+	}
+	return c
+}
+
+// Server serves one setdb.DB over HTTP. It implements http.Handler;
+// lifecycle (listening, graceful shutdown) belongs to the caller's
+// http.Server.
+type Server struct {
+	db      *setdb.DB
+	cfg     Config
+	mux     *http.ServeMux
+	start   time.Time
+	metrics map[string]*endpointMetrics
+
+	// samplers caches one shared exactly-uniform sampler per key:
+	// setdb.Sampler is lock-free on draws and follows its key across
+	// copy-on-write Adds, so all requests for a key share calibration.
+	// Entries invalidated by an (in-process) db.Delete are evicted
+	// lazily — on the next uniform draw or /v1/stats call — which is
+	// bounded for the HTTP surface (it exposes no delete); embedders
+	// that churn keys should poll stats or manage samplers themselves.
+	samplers sync.Map // string → *setdb.Sampler
+
+	// rngs pools per-request rand sources; seq derives each new source's
+	// seed so pooled misses never collide.
+	rngs sync.Pool
+	seq  atomic.Uint64
+}
+
+// New builds a Server over db.
+func New(db *setdb.DB, cfg Config) *Server {
+	s := &Server{
+		db:      db,
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: map[string]*endpointMetrics{},
+	}
+	s.rngs.New = func() any {
+		n := s.seq.Add(1)
+		return rand.New(rand.NewSource(int64(s.cfg.Seed ^ n*0x9E3779B97F4A7C15)))
+	}
+	s.route("/v1/sample", http.MethodPost, s.handleSample)
+	s.route("/v1/reconstruct", http.MethodPost, s.handleReconstruct)
+	s.route("/v1/intersection", http.MethodPost, s.handleIntersection)
+	s.route("/v1/add", http.MethodPost, s.handleAdd)
+	s.route("/v1/remove", http.MethodPost, s.handleRemove)
+	s.route("/v1/stats", http.MethodGet, s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError carries an HTTP status with a message. Handlers return it for
+// conditions they classify themselves; bare errors are classified by
+// statusFor.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusFor maps database errors onto HTTP statuses: absent keys are
+// 404, semantic conflicts (plain/dynamic clash, remove of a non-member,
+// invalidated sampler) are 409, known caller mistakes are 400, and
+// anything unrecognized is a genuine server-side failure — 500, so
+// monitoring never blames the client for an internal bug.
+func statusFor(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case errors.Is(err, setdb.ErrNoSet):
+		return http.StatusNotFound
+	case errors.Is(err, setdb.ErrKeyClash),
+		errors.Is(err, setdb.ErrSamplerInvalid),
+		errors.Is(err, bloom.ErrNotMember):
+		return http.StatusConflict
+	case errors.Is(err, setdb.ErrOutOfRange):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// route registers one endpoint with method gating and metrics.
+func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error) {
+	m := &endpointMetrics{}
+	s.metrics[path] = m
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var err error
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			err = errf(http.StatusMethodNotAllowed, "use %s %s", method, path)
+		} else {
+			err = h(w, r)
+		}
+		if err != nil && !errors.Is(err, errStreamAborted) {
+			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		}
+		m.observe(time.Since(start), err != nil)
+	})
+}
+
+// decode reads one JSON request body under the configured size limit.
+// Unknown fields are rejected: a typo'd mode flag ("dynamc") silently
+// selecting the wrong storage kind would be irreversible once the key
+// is created, so strictness beats leniency here.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "malformed JSON: %v", err)
+	}
+	// Same strictness for trailing content: a concatenated second JSON
+	// value would otherwise be silently dropped.
+	if dec.More() {
+		return errf(http.StatusBadRequest, "trailing data after the JSON request body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // header already sent; nothing useful left on failure
+}
+
+// rng hands out a pooled rand source for one request.
+func (s *Server) rng() *rand.Rand { return s.rngs.Get().(*rand.Rand) }
+
+func (s *Server) putRNG(r *rand.Rand) { s.rngs.Put(r) }
+
+// SampleRequest asks for n samples from the set under Key.
+//
+// Exactly one storage/sampling mode applies: plain sets use the
+// near-uniform BSTSample batch path (parallel workers), Dynamic selects
+// the counting-set snapshot path, Uniform the rejection-corrected
+// exactly-uniform sampler (plain sets only; calibration is shared and
+// shows up in /v1/stats). Stream switches the response to NDJSON — one
+// {"id":N} object per line, drawn and flushed chunk-wise — for batches
+// too large to buffer.
+type SampleRequest struct {
+	Key     string `json:"key"`
+	N       int    `json:"n,omitempty"` // default 1
+	Workers int    `json:"workers,omitempty"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+	Uniform bool   `json:"uniform,omitempty"`
+	Stream  bool   `json:"stream,omitempty"`
+}
+
+// SampleResponse carries the drawn ids. Returned can be less than
+// Requested: a BSTSample descent that ends on a false-positive path
+// yields no sample (the near-uniform modes), and the uniform sampler
+// stops at its rejection bound.
+type SampleResponse struct {
+	Key       string   `json:"key"`
+	Requested int      `json:"requested"`
+	Returned  int      `json:"returned"`
+	IDs       []uint64 `json:"ids"`
+}
+
+// StreamLine is the decoded form of one NDJSON record of a streamed
+// sample response: exactly one of the three shapes below applies per
+// line — an id line {"id":N}, an in-band error {"error":"..."}, or the
+// {"done":true} terminator. Clients unmarshal each line into this.
+type StreamLine struct {
+	ID    uint64 `json:"id"`
+	Error string `json:"error"`
+	Done  bool   `json:"done"`
+}
+
+// The three NDJSON record shapes used for *encoding*. They are distinct
+// types (rather than StreamLine with omitempty) so that a sampled id of
+// 0 still encodes as {"id":0}.
+type (
+	streamIDLine struct {
+		ID uint64 `json:"id"`
+	}
+	streamErrorLine struct {
+		Error string `json:"error"`
+	}
+	streamDoneLine struct {
+		Done bool `json:"done"`
+	}
+)
+
+// errStreamAborted marks a stream that ended before its terminator — a
+// draw failure reported in-band, a client disconnect, a cancelled
+// context. route() must count the request as failed (so truncated
+// streams are visible in /v1/stats) but not write a second response.
+var errStreamAborted = errors.New("server: stream aborted mid-response")
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
+	var req SampleRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.Key == "" {
+		return errf(http.StatusBadRequest, "missing key")
+	}
+	if req.N == 0 {
+		req.N = 1
+	}
+	if req.N < 0 {
+		return errf(http.StatusBadRequest, "negative n %d", req.N)
+	}
+	if req.Stream {
+		if req.N > s.cfg.MaxStreamBatch {
+			return errf(http.StatusRequestEntityTooLarge, "n %d exceeds the streaming batch limit %d", req.N, s.cfg.MaxStreamBatch)
+		}
+	} else if req.N > s.cfg.MaxBatch {
+		return errf(http.StatusRequestEntityTooLarge, "n %d exceeds the batch limit %d (stream mode affords up to %d)", req.N, s.cfg.MaxBatch, s.cfg.MaxStreamBatch)
+	}
+	if req.Uniform && req.Dynamic {
+		return errf(http.StatusBadRequest, "uniform sampling serves plain sets only")
+	}
+	draw, err := s.chunkDrawer(req)
+	if err != nil {
+		return err
+	}
+	// Only the uniform mode consumes a per-request rng; the batch paths
+	// seed their worker pools internally.
+	var rng *rand.Rand
+	if req.Uniform {
+		rng = s.rng()
+		defer s.putRNG(rng)
+	}
+	if req.Stream {
+		return s.streamSamples(w, r, req, draw, rng)
+	}
+	ids, err := draw(req.N, rng)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, SampleResponse{
+		Key: req.Key, Requested: req.N, Returned: len(ids), IDs: ids,
+	})
+	return nil
+}
+
+// chunkDrawer resolves the request's sampling mode to a draw function.
+// The plain and dynamic modes pin the key's currently published filter
+// version here, once: a batch spread over many chunks (streaming) is
+// drawn entirely from that one point-in-time version, never interleaving
+// set versions mid-response no matter how writers race it. The uniform
+// mode deliberately does the opposite — the shared sampler follows its
+// key across copy-on-write swaps, which is its documented contract.
+func (s *Server) chunkDrawer(req SampleRequest) (func(n int, rng *rand.Rand) ([]uint64, error), error) {
+	// Clamp the client-supplied worker count: it is a hint, not a lever
+	// to make the server spawn 100k goroutines for one request.
+	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	switch {
+	case req.Uniform:
+		// Resolve the shared sampler once per request. A Delete/re-Add
+		// racing the request surfaces as ErrSamplerInvalid from the draw
+		// (409, or an in-band stream error) — one response never silently
+		// splices ids from two key lifetimes.
+		smp, err := s.uniformSampler(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return func(n int, rng *rand.Rand) ([]uint64, error) {
+			return smp.SampleN(n, rng, nil)
+		}, nil
+	case req.Dynamic:
+		snap, err := s.db.SnapshotDynamic(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return func(n int, _ *rand.Rand) ([]uint64, error) {
+			return s.db.SampleManyFrom(snap, n, workers, nil)
+		}, nil
+	default:
+		f := s.db.Filter(req.Key)
+		if f == nil {
+			return nil, fmt.Errorf("%w %q", setdb.ErrNoSet, req.Key)
+		}
+		return func(n int, _ *rand.Rand) ([]uint64, error) {
+			return s.db.SampleManyFrom(f, n, workers, nil)
+		}, nil
+	}
+}
+
+// uniformSampler returns the shared per-key uniform sampler, building it
+// on first use. A cached sampler invalidated by Delete/re-Add is dropped
+// and rebuilt against the key's current lifetime.
+func (s *Server) uniformSampler(key string) (*setdb.Sampler, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		v, ok := s.samplers.Load(key)
+		if !ok {
+			smp, err := s.db.UniformSampler(key)
+			if err != nil {
+				return nil, err
+			}
+			v, _ = s.samplers.LoadOrStore(key, smp)
+		}
+		smp := v.(*setdb.Sampler)
+		if smp.Valid() {
+			return smp, nil
+		}
+		// Evict only the sampler we observed stale: a plain Delete could
+		// race-discard a valid replacement (and its calibration) that
+		// another request already stored.
+		s.samplers.CompareAndDelete(key, v)
+	}
+	// Two cache rounds both raced Delete/re-Adds of this key; serve the
+	// request from a fresh sampler bound to the current lifetime rather
+	// than trusting the churning cache.
+	return s.db.UniformSampler(key)
+}
+
+// streamSamples writes the NDJSON response: chunk-wise draws, one id per
+// line, a final {"done":true} terminator. An error after the 200 header
+// is reported in-band as an {"error":...} line. A client that goes away
+// (write failure or context cancellation) stops the drawing immediately
+// rather than burning tree descents into a dead connection.
+func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, req SampleRequest, draw func(int, *rand.Rand) ([]uint64, error), rng *rand.Rand) error {
+	// Draw the first chunk before committing to a 200, so key/mode errors
+	// still get a proper status.
+	first := req.N
+	if first > s.cfg.StreamChunk {
+		first = s.cfg.StreamChunk
+	}
+	ids, err := draw(first, rng)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	ctx := r.Context()
+	rc := http.NewResponseController(w)
+	// Clear the per-chunk deadline on the way out so it never bleeds
+	// into the next request on a kept-alive connection.
+	defer rc.SetWriteDeadline(time.Time{})
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ids []uint64) error {
+		// Each chunk write gets a fresh deadline: a client reading too
+		// slowly fails its own stream instead of pinning this goroutine
+		// (and its draw work) for the server's lifetime.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		for _, id := range ids {
+			if err := enc.Encode(streamIDLine{ID: id}); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := emit(ids); err != nil {
+		return errStreamAborted // client went away
+	}
+	for drawn := first; drawn < req.N; {
+		if ctx.Err() != nil {
+			return errStreamAborted
+		}
+		chunk := req.N - drawn
+		if chunk > s.cfg.StreamChunk {
+			chunk = s.cfg.StreamChunk
+		}
+		ids, err := draw(chunk, rng)
+		if err != nil {
+			_ = enc.Encode(streamErrorLine{Error: err.Error()})
+			return errStreamAborted
+		}
+		if err := emit(ids); err != nil {
+			return errStreamAborted
+		}
+		drawn += chunk
+	}
+	if enc.Encode(streamDoneLine{Done: true}) != nil {
+		return errStreamAborted // terminator never reached the client
+	}
+	return nil
+}
+
+// ReconstructRequest asks for the full contents of a stored set.
+type ReconstructRequest struct {
+	Key     string `json:"key"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+}
+
+// ReconstructResponse returns the reconstructed ids in ascending order.
+type ReconstructResponse struct {
+	Key   string   `json:"key"`
+	Count int      `json:"count"`
+	IDs   []uint64 `json:"ids"`
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error {
+	var req ReconstructRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.Key == "" {
+		return errf(http.StatusBadRequest, "missing key")
+	}
+	// Pin the published filter version, and bound the response: a
+	// reconstruction buffers the whole set (plus its JSON) in memory, so
+	// it obeys the same cap as a buffered sample batch.
+	var f *bloom.Filter
+	if req.Dynamic {
+		snap, err := s.db.SnapshotDynamic(req.Key)
+		if err != nil {
+			return err
+		}
+		f = snap
+	} else if f = s.db.Filter(req.Key); f == nil {
+		return fmt.Errorf("%w %q", setdb.ErrNoSet, req.Key)
+	}
+	if est := f.EstimateCardinality(); est > float64(s.cfg.MaxBatch) {
+		return errf(http.StatusRequestEntityTooLarge,
+			"set %q holds an estimated %.0f elements, above the %d reconstruction limit", req.Key, est, s.cfg.MaxBatch)
+	}
+	ids, err := s.db.Tree().Reconstruct(f, core.PruneByEstimate, nil)
+	if err != nil {
+		return err
+	}
+	if ids == nil {
+		ids = []uint64{}
+	}
+	writeJSON(w, http.StatusOK, ReconstructResponse{Key: req.Key, Count: len(ids), IDs: ids})
+	return nil
+}
+
+// IntersectionRequest names the two stored sets to compare.
+type IntersectionRequest struct {
+	KeyA string `json:"key_a"`
+	KeyB string `json:"key_b"`
+}
+
+// IntersectionResponse carries the |A ∩ B| estimate (§4 estimator).
+type IntersectionResponse struct {
+	KeyA     string  `json:"key_a"`
+	KeyB     string  `json:"key_b"`
+	Estimate float64 `json:"estimate"`
+}
+
+func (s *Server) handleIntersection(w http.ResponseWriter, r *http.Request) error {
+	var req IntersectionRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.KeyA == "" || req.KeyB == "" {
+		return errf(http.StatusBadRequest, "missing key_a or key_b")
+	}
+	est, err := s.db.IntersectionEstimate(req.KeyA, req.KeyB)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, IntersectionResponse{KeyA: req.KeyA, KeyB: req.KeyB, Estimate: est})
+	return nil
+}
+
+// AddRequest inserts IDs under Key, creating the set on first use.
+// Dynamic selects the counting-filter (deletable) storage kind; the kind
+// is fixed at creation and mixing kinds on one key is a 409.
+type AddRequest struct {
+	Key     string   `json:"key"`
+	IDs     []uint64 `json:"ids"`
+	Dynamic bool     `json:"dynamic,omitempty"`
+}
+
+// AddResponse acknowledges a write.
+type AddResponse struct {
+	Key   string `json:"key"`
+	Added int    `json:"added"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
+	var req AddRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.Key == "" {
+		return errf(http.StatusBadRequest, "missing key")
+	}
+	if len(req.IDs) > s.cfg.MaxBatch {
+		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", len(req.IDs), s.cfg.MaxBatch)
+	}
+	var err error
+	if req.Dynamic {
+		err = s.db.AddDynamic(req.Key, req.IDs...)
+	} else {
+		err = s.db.Add(req.Key, req.IDs...)
+	}
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, AddResponse{Key: req.Key, Added: len(req.IDs)})
+	return nil
+}
+
+// RemoveRequest removes one insertion of each id from the dynamic set
+// under Key. The batch is all-or-nothing: a single non-member id fails
+// the whole request (409) and publishes nothing.
+type RemoveRequest struct {
+	Key string   `json:"key"`
+	IDs []uint64 `json:"ids"`
+}
+
+// RemoveResponse acknowledges a removal.
+type RemoveResponse struct {
+	Key     string `json:"key"`
+	Removed int    `json:"removed"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) error {
+	var req RemoveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.Key == "" {
+		return errf(http.StatusBadRequest, "missing key")
+	}
+	if len(req.IDs) > s.cfg.MaxBatch {
+		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", len(req.IDs), s.cfg.MaxBatch)
+	}
+	if err := s.db.RemoveDynamic(req.Key, req.IDs...); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, RemoveResponse{Key: req.Key, Removed: len(req.IDs)})
+	return nil
+}
+
+// DBStats mirrors setdb.DBStats with JSON tags; per-shard occupancy is
+// summarized to occupied/min/max so the payload stays small at 64 shards.
+type DBStats struct {
+	Sets            int    `json:"sets"`
+	DynamicSets     int    `json:"dynamic_sets"`
+	Shards          int    `json:"shards"`
+	OccupiedShards  int    `json:"occupied_shards"`
+	MaxShardKeys    int    `json:"max_shard_keys"`
+	Generations     uint64 `json:"generations"`
+	TreeNodes       uint64 `json:"tree_nodes"`
+	TreeDepth       int    `json:"tree_depth"`
+	TreePruned      bool   `json:"tree_pruned"`
+	TreeMemoryBytes uint64 `json:"tree_memory_bytes"`
+	GrowthEpoch     uint64 `json:"growth_epoch"`
+	SubtreeEpochs   uint64 `json:"subtree_epochs_active"` // stripes with ≥1 completed epoch
+}
+
+// SamplerStats is the calibration view of one cached uniform sampler.
+type SamplerStats struct {
+	Attempts     uint64  `json:"attempts"`
+	Accepted     uint64  `json:"accepted"`
+	Clamped      uint64  `json:"clamped"`
+	Retargets    uint64  `json:"retargets"`
+	SafetyFactor float64 `json:"safety_factor"`
+	MaxAttempts  int     `json:"max_attempts"`
+}
+
+// OptionsStats echoes the database profile.
+type OptionsStats struct {
+	Namespace uint64 `json:"namespace"`
+	Bits      uint64 `json:"bits"`
+	K         int    `json:"k"`
+	HashKind  string `json:"hash_kind"`
+	TreeDepth int    `json:"tree_depth"`
+	Pruned    bool   `json:"pruned"`
+}
+
+// StatsResponse is the full /v1/stats payload.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Options       OptionsStats             `json:"options"`
+	DB            DBStats                  `json:"db"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Samplers      map[string]SamplerStats  `json:"samplers,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st := s.db.Stats()
+	// One clock read: the QPS denominators below must agree with the
+	// uptime field they ship with.
+	uptime := time.Since(s.start)
+	resp := StatsResponse{
+		UptimeSeconds: uptime.Seconds(),
+		DB: DBStats{
+			Sets:            st.Sets,
+			DynamicSets:     st.DynamicSets,
+			Shards:          len(st.Shards),
+			Generations:     st.Generations,
+			TreeNodes:       st.TreeNodes,
+			TreeDepth:       st.TreeDepth,
+			TreePruned:      st.TreePruned,
+			TreeMemoryBytes: st.TreeMemoryBytes,
+			GrowthEpoch:     st.GrowthEpoch,
+		},
+		Endpoints: map[string]EndpointStats{},
+	}
+	opts := s.db.Options()
+	resp.Options = OptionsStats{
+		Namespace: opts.Namespace,
+		Bits:      opts.Bits,
+		K:         opts.K,
+		HashKind:  string(opts.HashKind),
+		TreeDepth: opts.TreeDepth,
+		Pruned:    opts.Pruned,
+	}
+	for i := range st.Shards {
+		keys := st.Shards[i].Sets + st.Shards[i].Dynamic
+		if keys > 0 {
+			resp.DB.OccupiedShards++
+		}
+		if keys > resp.DB.MaxShardKeys {
+			resp.DB.MaxShardKeys = keys
+		}
+	}
+	for _, e := range st.SubtreeEpochs {
+		if e > 0 {
+			resp.DB.SubtreeEpochs++
+		}
+	}
+	for path, m := range s.metrics {
+		resp.Endpoints[path] = m.snapshot(uptime)
+	}
+	s.samplers.Range(func(k, v any) bool {
+		smp := v.(*setdb.Sampler)
+		if !smp.Valid() {
+			// The key was deleted (or deleted and re-created) since this
+			// sampler was cached: evict it instead of reporting
+			// calibration for a dead set. CompareAndDelete so a valid
+			// replacement stored meanwhile is left alone.
+			s.samplers.CompareAndDelete(k, v)
+			return true
+		}
+		us := smp.Stats()
+		if resp.Samplers == nil {
+			resp.Samplers = map[string]SamplerStats{}
+		}
+		resp.Samplers[k.(string)] = SamplerStats{
+			Attempts:     us.Attempts,
+			Accepted:     us.Accepted,
+			Clamped:      us.Clamped,
+			Retargets:    us.Retargets,
+			SafetyFactor: smp.SafetyFactor(),
+			MaxAttempts:  smp.MaxAttempts(),
+		}
+		return true
+	})
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,510 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/setdb"
+)
+
+// newTestServer builds a small pruned database with one plain and one
+// dynamic set, wrapped in an httptest server.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *setdb.DB) {
+	t.Helper()
+	opts, err := setdb.PlanOptions(0.9, 256, 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Pruned = true
+	opts.Seed = 7
+	db, err := setdb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 0, 256)
+	for i := uint64(0); i < 256; i++ {
+		ids = append(ids, i*17%100_000)
+	}
+	if err := db.Add("plain", ids...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDynamic("dyn", 1, 2, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 42
+	ts := httptest.NewServer(New(db, cfg))
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+// post sends body to path and decodes the JSON response into out (unless
+// nil), returning the status code.
+func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSampleSingleAndBatch(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	set, err := db.Reconstruct("plain", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := map[uint64]bool{}
+	for _, id := range set {
+		member[id] = true
+	}
+	var single SampleResponse
+	if code := post(t, ts, "/v1/sample", `{"key":"plain"}`, &single); code != 200 {
+		t.Fatalf("single sample: status %d", code)
+	}
+	if single.Requested != 1 || single.Returned != len(single.IDs) {
+		t.Fatalf("single sample shape: %+v", single)
+	}
+	// An absurd client-supplied worker count is clamped server-side, not
+	// honored.
+	var batch SampleResponse
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":200,"workers":99999}`, &batch); code != 200 {
+		t.Fatalf("batch sample: status %d", code)
+	}
+	if batch.Requested != 200 || len(batch.IDs) == 0 {
+		t.Fatalf("batch sample shape: %+v", batch)
+	}
+	for _, id := range batch.IDs {
+		if !member[id] {
+			t.Fatalf("sampled id %d not in the stored set", id)
+		}
+	}
+}
+
+func TestSampleUniformAndDynamic(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	var uni SampleResponse
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":50,"uniform":true}`, &uni); code != 200 {
+		t.Fatalf("uniform sample: status %d", code)
+	}
+	if len(uni.IDs) == 0 {
+		t.Fatal("uniform sample returned nothing")
+	}
+	var dyn SampleResponse
+	if code := post(t, ts, "/v1/sample", `{"key":"dyn","n":20,"dynamic":true}`, &dyn); code != 200 {
+		t.Fatalf("dynamic sample: status %d", code)
+	}
+	for _, id := range dyn.IDs {
+		if id < 1 || id > 5 {
+			t.Fatalf("dynamic sample %d outside {1..5}", id)
+		}
+	}
+	// Uniform + dynamic is rejected.
+	if code := post(t, ts, "/v1/sample", `{"key":"dyn","uniform":true,"dynamic":true}`, nil); code != 400 {
+		t.Fatalf("uniform+dynamic: status %d, want 400", code)
+	}
+	// The uniform sampler's calibration must show in /v1/stats.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	smp, ok := st.Samplers["plain"]
+	if !ok {
+		t.Fatalf("no sampler calibration for 'plain' in stats: %+v", st.Samplers)
+	}
+	if smp.Attempts == 0 || smp.SafetyFactor <= 0 || smp.MaxAttempts <= 0 {
+		t.Fatalf("sampler calibration not populated: %+v", smp)
+	}
+}
+
+// TestSampleUniformSurvivesDeleteReAdd covers the sampler-cache
+// invalidation path: after Delete+Add the old sampler is discarded and a
+// fresh one bound to the new key lifetime.
+func TestSampleUniformSurvivesDeleteReAdd(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":5,"uniform":true}`, nil); code != 200 {
+		t.Fatalf("warmup: status %d", code)
+	}
+	if !db.Delete("plain") {
+		t.Fatal("delete failed")
+	}
+	// A stats call between the delete and the next draw evicts the dead
+	// sampler instead of reporting calibration for a set that is gone.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := st.Samplers["plain"]; ok {
+		t.Fatal("stats still reports a sampler for the deleted key")
+	}
+	if err := db.Add("plain", 10, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	var got SampleResponse
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":5,"uniform":true}`, &got); code != 200 {
+		t.Fatalf("post-re-add: status %d", code)
+	}
+	for _, id := range got.IDs {
+		if id != 10 && id != 20 && id != 30 {
+			t.Fatalf("sampled %d from the dead key lifetime", id)
+		}
+	}
+}
+
+func TestSampleStreamNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t, Config{StreamChunk: 64})
+	resp, err := http.Post(ts.URL+"/v1/sample", "application/json",
+		strings.NewReader(`{"key":"plain","n":300,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var ids, done int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("in-band error: %s", line.Error)
+		case line.Done:
+			done++
+		default:
+			ids++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 || ids == 0 || ids > 300 {
+		t.Fatalf("stream shape: %d ids, %d done markers", ids, done)
+	}
+	// A bad key in stream mode still gets a real HTTP error status.
+	if code := post(t, ts, "/v1/sample", `{"key":"nope","stream":true}`, nil); code != 404 {
+		t.Fatalf("stream missing key: status %d, want 404", code)
+	}
+}
+
+// TestSampleStreamEncodesIDZero pins the NDJSON encoding of id 0: it
+// must appear as an explicit {"id":0} line, not an empty object.
+func TestSampleStreamEncodesIDZero(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	if err := db.Add("zero", 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sample", "application/json",
+		strings.NewReader(`{"key":"zero","n":4,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream too short: %q", body)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		if line != `{"id":0}` {
+			t.Fatalf("id-0 line encoded as %q", line)
+		}
+	}
+	if lines[len(lines)-1] != `{"done":true}` {
+		t.Fatalf("missing done terminator: %q", lines[len(lines)-1])
+	}
+}
+
+func TestReconstructAndIntersection(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	want, err := db.Reconstruct("plain", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec ReconstructResponse
+	if code := post(t, ts, "/v1/reconstruct", `{"key":"plain"}`, &rec); code != 200 {
+		t.Fatalf("reconstruct: status %d", code)
+	}
+	if rec.Count != len(want) || len(rec.IDs) != len(want) {
+		t.Fatalf("reconstruct count %d, want %d", rec.Count, len(want))
+	}
+	var dyn ReconstructResponse
+	if code := post(t, ts, "/v1/reconstruct", `{"key":"dyn","dynamic":true}`, &dyn); code != 200 {
+		t.Fatalf("dynamic reconstruct: status %d", code)
+	}
+	if dyn.Count < 5 {
+		t.Fatalf("dynamic reconstruct lost members: %+v", dyn)
+	}
+	if err := db.Add("other", want[0], want[1], 99_999); err != nil {
+		t.Fatal(err)
+	}
+	var inter IntersectionResponse
+	if code := post(t, ts, "/v1/intersection", `{"key_a":"plain","key_b":"other"}`, &inter); code != 200 {
+		t.Fatalf("intersection: status %d", code)
+	}
+	if inter.Estimate < 0.5 {
+		t.Fatalf("intersection estimate %.3f implausibly low (true ≥ 2)", inter.Estimate)
+	}
+	if code := post(t, ts, "/v1/intersection", `{"key_a":"plain","key_b":"ghost"}`, nil); code != 404 {
+		t.Fatalf("intersection with missing key: status %d, want 404", code)
+	}
+}
+
+func TestAddRemoveLifecycle(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	if code := post(t, ts, "/v1/add", `{"key":"web","ids":[7,8,9],"dynamic":true}`, nil); code != 200 {
+		t.Fatalf("add dynamic: status %d", code)
+	}
+	if code := post(t, ts, "/v1/remove", `{"key":"web","ids":[8]}`, nil); code != 200 {
+		t.Fatalf("remove: status %d", code)
+	}
+	got, err := db.ReconstructDynamic("web", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range got {
+		if id == 8 {
+			t.Fatal("removed id still present")
+		}
+	}
+	// Plain/dynamic kind clash is a 409 both ways.
+	if code := post(t, ts, "/v1/add", `{"key":"web","ids":[1]}`, nil); code != 409 {
+		t.Fatalf("plain add onto dynamic key: status %d, want 409", code)
+	}
+	if code := post(t, ts, "/v1/add", `{"key":"plain","ids":[1],"dynamic":true}`, nil); code != 409 {
+		t.Fatalf("dynamic add onto plain key: status %d, want 409", code)
+	}
+	// Namespace violation is a 400.
+	if code := post(t, ts, "/v1/add", `{"key":"web2","ids":[999999999]}`, nil); code != 400 {
+		t.Fatalf("out-of-namespace add: status %d, want 400", code)
+	}
+}
+
+// TestErrorPaths covers the satellite checklist: malformed JSON,
+// oversized batches/bodies, and all-or-nothing remove of an absent id.
+func TestErrorPaths(t *testing.T) {
+	ts, db := newTestServer(t, Config{MaxBatch: 100, MaxBodyBytes: 512, MaxStreamBatch: 1000})
+
+	var eb errorBody
+	if code := post(t, ts, "/v1/sample", `{"key":`, &eb); code != 400 || eb.Error == "" {
+		t.Fatalf("malformed JSON: status %d, body %+v", code, eb)
+	}
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":101}`, nil); code != 413 {
+		t.Fatalf("oversized sample batch: status %d, want 413", code)
+	}
+	// Stream mode has its own, larger cap: a batch beyond MaxBatch is
+	// accepted when streaming, and 413 only past MaxStreamBatch.
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":500,"stream":true}`, nil); code != 200 {
+		t.Fatalf("stream batch beyond MaxBatch: status %d, want 200", code)
+	}
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":1001,"stream":true}`, nil); code != 413 {
+		t.Fatalf("stream batch beyond MaxStreamBatch: status %d, want 413", code)
+	}
+	if code := post(t, ts, "/v1/sample", `{"key":"plain","n":-1}`, nil); code != 400 {
+		t.Fatalf("negative n: status %d, want 400", code)
+	}
+	// A typo'd field name must not silently select the wrong mode.
+	if code := post(t, ts, "/v1/add", `{"key":"typo","ids":[1],"dynamc":true}`, nil); code != 400 {
+		t.Fatalf("unknown JSON field: status %d, want 400", code)
+	}
+	// A concatenated second body must not be silently dropped.
+	if code := post(t, ts, "/v1/add", `{"key":"a","ids":[1]}{"key":"b","ids":[2]}`, nil); code != 400 {
+		t.Fatalf("trailing JSON data: status %d, want 400", code)
+	}
+	if code := post(t, ts, "/v1/sample", `{"n":3}`, nil); code != 400 {
+		t.Fatalf("missing key: status %d, want 400", code)
+	}
+	if code := post(t, ts, "/v1/sample", `{"key":"ghost"}`, nil); code != 404 {
+		t.Fatalf("missing set: status %d, want 404", code)
+	}
+
+	// Reconstruction obeys the same cap: "plain" holds ~256 elements,
+	// estimated above MaxBatch=100.
+	if code := post(t, ts, "/v1/reconstruct", `{"key":"plain"}`, nil); code != 413 {
+		t.Fatalf("oversized reconstruct: status %d, want 413", code)
+	}
+
+	// Oversized body (beyond MaxBodyBytes) → 413.
+	big := fmt.Sprintf(`{"key":"big","ids":[%s1]}`, strings.Repeat("1,", 400))
+	if code := post(t, ts, "/v1/add", big, nil); code != 413 {
+		t.Fatalf("oversized body: status %d, want 413", code)
+	}
+
+	// Remove of an absent id is all-or-nothing: 409 and no change.
+	before, err := db.ReconstructDynamic("dyn", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(t, ts, "/v1/remove", `{"key":"dyn","ids":[3,77777]}`, &eb); code != 409 {
+		t.Fatalf("remove absent id: status %d, want 409", code)
+	}
+	after, err := db.ReconstructDynamic("dyn", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("failed remove mutated the set: %d → %d members", len(before), len(after))
+	}
+	// An out-of-namespace id must be rejected up front (400), never
+	// allowed to alias onto real members' counters.
+	if code := post(t, ts, "/v1/remove", `{"key":"dyn","ids":[999999999]}`, nil); code != 400 {
+		t.Fatalf("out-of-namespace remove: status %d, want 400", code)
+	}
+	if code := post(t, ts, "/v1/remove", `{"key":"ghost","ids":[1]}`, nil); code != 404 {
+		t.Fatalf("remove on missing dynamic set: status %d, want 404", code)
+	}
+	// Remove targets dynamic sets only; a plain key is absent there.
+	if code := post(t, ts, "/v1/remove", `{"key":"plain","ids":[1]}`, nil); code != 404 {
+		t.Fatalf("remove on plain set: status %d, want 404", code)
+	}
+
+	// Wrong methods → 405 with Allow.
+	resp, err := http.Get(ts.URL + "/v1/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 405 || resp.Header.Get("Allow") != "POST" {
+		t.Fatalf("GET sample: status %d allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	resp, err = http.Post(ts.URL+"/v1/stats", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST stats: status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsIntrospection(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	post(t, ts, "/v1/sample", `{"key":"plain","n":10}`, nil)
+	post(t, ts, "/v1/sample", `{"key":"ghost"}`, nil) // one error
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DB.Sets != 1 || st.DB.DynamicSets != 1 || st.DB.Shards != 64 {
+		t.Fatalf("db stats wrong: %+v", st.DB)
+	}
+	if st.DB.OccupiedShards == 0 || st.DB.MaxShardKeys == 0 || st.DB.TreeNodes == 0 {
+		t.Fatalf("shard/tree introspection empty: %+v", st.DB)
+	}
+	if !st.DB.TreePruned || st.DB.GrowthEpoch == 0 {
+		t.Fatalf("growth epochs not visible on a pruned tree: %+v", st.DB)
+	}
+	if st.Options.Namespace != 100_000 || st.Options.K != 3 {
+		t.Fatalf("options not echoed: %+v", st.Options)
+	}
+	sm := st.Endpoints["/v1/sample"]
+	if sm.Requests != 2 || sm.Errors != 1 || sm.AvgLatencyUS <= 0 || sm.QPS <= 0 {
+		t.Fatalf("sample endpoint metrics wrong: %+v", sm)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %v", st.UptimeSeconds)
+	}
+}
+
+// TestConcurrentAddSample hammers /v1/add and /v1/sample (plus the
+// dynamic write path) over real HTTP from many goroutines. Under -race
+// this is the serving-layer regression test for the copy-on-write
+// guarantees: no request may observe a filter mid-update.
+func TestConcurrentAddSample(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	if err := db.AddDynamic("churn", 50, 51, 52); err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+	do := func(path, body string) int {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				id := (w*1000 + i*37) % 100_000
+				switch i % 4 {
+				case 0:
+					if code := do("/v1/add", fmt.Sprintf(`{"key":"plain","ids":[%d]}`, id)); code != 200 {
+						t.Errorf("add: status %d", code)
+					}
+				case 1:
+					if code := do("/v1/sample", `{"key":"plain","n":8}`); code != 200 {
+						t.Errorf("sample: status %d", code)
+					}
+				case 2:
+					if code := do("/v1/add", fmt.Sprintf(`{"key":"churn","ids":[%d],"dynamic":true}`, id)); code != 200 {
+						t.Errorf("dynamic add: status %d", code)
+					}
+				default:
+					if code := do("/v1/sample", `{"key":"churn","n":4,"dynamic":true}`); code != 200 {
+						t.Errorf("dynamic sample: status %d", code)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every plain id written above must now be present.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 30; i += 4 {
+			id := uint64((w*1000 + i*37) % 100_000)
+			ok, err := db.Contains("plain", id)
+			if err != nil || !ok {
+				t.Fatalf("id %d written over HTTP not visible (ok=%v err=%v)", id, ok, err)
+			}
+		}
+	}
+}

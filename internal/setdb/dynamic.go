@@ -37,7 +37,7 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 	// Advisory clash precheck before paying for tree growth; the
 	// authoritative check runs under the shard mutex below.
 	if _, clash := s.load().sets[key]; clash {
-		return fmt.Errorf("setdb: %q already exists as a plain set", key)
+		return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, key)
 	}
 	if err := db.growTree(ids); err != nil {
 		return err
@@ -46,7 +46,7 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 	defer s.mu.Unlock()
 	cur := s.load()
 	if _, clash := cur.sets[key]; clash {
-		return fmt.Errorf("setdb: %q already exists as a plain set", key)
+		return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, key)
 	}
 	var next *bloom.CountingFilter
 	if c, ok := cur.dynamic[key]; ok {
@@ -67,7 +67,14 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 // no partially-removed state is ever published. (The shared pruned tree
 // retains the id's range — tree occupancy is monotone — which affects
 // only performance, never correctness.)
+//
+// Ids are namespace-validated like Add's: an out-of-range id can alias
+// onto occupied counter positions and would otherwise corrupt genuine
+// members' counters while looking like a successful remove.
 func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
+	if err := db.validateIDs(ids); err != nil {
+		return err
+	}
 	s := db.shardOf(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,62 @@
+package setdb
+
+// Introspection: a point-in-time view of the database's internal shape —
+// shard occupancy, tree growth epochs, memory — for operational surfaces
+// (the bstserved /v1/stats endpoint, debugging, capacity planning). All
+// of it reads the same lock-free snapshots the query path uses, so
+// calling Stats on a hot database disturbs nothing.
+
+// ShardStats describes one key shard.
+type ShardStats struct {
+	// Sets and Dynamic are the number of plain and dynamic keys stored in
+	// the shard's current snapshot.
+	Sets    int
+	Dynamic int
+}
+
+// DBStats is a consistent-enough introspection snapshot of the database:
+// each shard is read atomically, but shards are read one after another,
+// so counts can straddle concurrent writes (fine for monitoring).
+type DBStats struct {
+	// Sets and DynamicSets are the database-wide key counts.
+	Sets        int
+	DynamicSets int
+	// Shards holds per-shard occupancy, indexed by shard number.
+	Shards []ShardStats
+	// Generations is the number of key lifetimes ever created (it only
+	// grows; Delete does not reclaim it).
+	Generations uint64
+	// TreeNodes, TreeDepth, TreePruned and TreeMemoryBytes describe the
+	// shared BloomSampleTree.
+	TreeNodes       uint64
+	TreeDepth       int
+	TreePruned      bool
+	TreeMemoryBytes uint64
+	// GrowthEpoch is the total number of completed growth epochs across
+	// all subtrees of a pruned tree (0 for a full tree); SubtreeEpochs is
+	// the per-stripe breakdown.
+	GrowthEpoch   uint64
+	SubtreeEpochs []uint64
+}
+
+// Stats returns an introspection snapshot. It is lock-free and safe to
+// call at any frequency while readers and writers run.
+func (db *DB) Stats() DBStats {
+	st := DBStats{
+		Shards:          make([]ShardStats, numShards),
+		Generations:     db.gen.Load(),
+		TreeNodes:       db.tree.Nodes(),
+		TreeDepth:       db.tree.Depth(),
+		TreePruned:      db.tree.Pruned(),
+		TreeMemoryBytes: db.tree.MemoryBytes(),
+		GrowthEpoch:     db.tree.GrowthEpoch(),
+		SubtreeEpochs:   db.tree.SubtreeEpochs(),
+	}
+	for i := range db.shards {
+		snap := db.shards[i].load()
+		st.Shards[i] = ShardStats{Sets: len(snap.sets), Dynamic: len(snap.dynamic)}
+		st.Sets += len(snap.sets)
+		st.DynamicSets += len(snap.dynamic)
+	}
+	return st
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/bloom"
 	"repro/internal/core"
 )
 
@@ -42,10 +43,39 @@ func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]ui
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
+	return db.sampleManyFilter(e.f, n, workers, ops)
+}
+
+// SampleManyDynamic is SampleManyWorkers for a dynamic set: the batch
+// runs against one immutable point-in-time snapshot of the counting
+// filter, so concurrent RemoveDynamic calls never yield a half-updated
+// view partway through the batch.
+func (db *DB) SampleManyDynamic(key string, n, workers int, ops *core.Ops) ([]uint64, error) {
+	snap, err := db.SnapshotDynamic(key)
+	if err != nil {
+		return nil, err
+	}
+	return db.sampleManyFilter(snap, n, workers, ops)
+}
+
+// SampleManyFrom draws n samples from one caller-held immutable filter
+// version (obtained from Filter or SnapshotDynamic). It is the hook for
+// callers that spread one logical batch over several calls — chunked
+// streaming, pagination — and need every chunk drawn from the same
+// point-in-time version regardless of concurrent writes.
+func (db *DB) SampleManyFrom(f *bloom.Filter, n, workers int, ops *core.Ops) ([]uint64, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w (nil filter)", ErrNoSet)
+	}
+	return db.sampleManyFilter(f, n, workers, ops)
+}
+
+// sampleManyFilter draws n samples from one immutable filter with up to
+// workers goroutines (0 means GOMAXPROCS).
+func (db *DB) sampleManyFilter(f *bloom.Filter, n, workers int, ops *core.Ops) ([]uint64, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	f := e.f
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -79,6 +79,16 @@ func PlanOptions(accuracy float64, designSetSize, namespace uint64, k int) (Opti
 // absent key; match it with errors.Is.
 var ErrNoSet = errors.New("setdb: no set")
 
+// ErrKeyClash is wrapped by Add/AddDynamic when the key already exists
+// with the other storage kind (a key is either plain or dynamic, never
+// both); match it with errors.Is.
+var ErrKeyClash = errors.New("setdb: key clash")
+
+// ErrOutOfRange is wrapped by writes carrying an id outside the
+// database namespace; match it with errors.Is. It marks a caller
+// mistake, as opposed to an internal failure.
+var ErrOutOfRange = errors.New("setdb: id outside namespace")
+
 // numShards is the number of key shards the set maps are split across.
 // Writers to different shards never contend; the count is an internal
 // constant (not persisted). It also bounds the copy-on-write cost of a
@@ -269,7 +279,7 @@ func (db *DB) Keys() []string {
 func (db *DB) validateIDs(ids []uint64) error {
 	for _, id := range ids {
 		if id >= db.opts.Namespace {
-			return fmt.Errorf("setdb: id %d outside namespace [0,%d)", id, db.opts.Namespace)
+			return fmt.Errorf("%w: id %d outside [0,%d)", ErrOutOfRange, id, db.opts.Namespace)
 		}
 	}
 	return nil
@@ -300,7 +310,7 @@ func (db *DB) Add(key string, ids ...uint64) error {
 	// Advisory clash precheck before paying for tree growth; the
 	// authoritative check runs under the shard mutex below.
 	if _, clash := s.load().dynamic[key]; clash {
-		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
+		return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, key)
 	}
 	if err := db.growTree(ids); err != nil {
 		return err
@@ -309,7 +319,7 @@ func (db *DB) Add(key string, ids ...uint64) error {
 	defer s.mu.Unlock()
 	cur := s.load()
 	if _, clash := cur.dynamic[key]; clash {
-		return fmt.Errorf("setdb: %q already exists as a dynamic set", key)
+		return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, key)
 	}
 	e, ok := cur.sets[key]
 	if ok {
@@ -443,6 +453,22 @@ func (s *Sampler) SampleN(r int, rng *rand.Rand, ops *core.Ops) ([]uint64, error
 
 // Stats returns cumulative rejection statistics.
 func (s *Sampler) Stats() core.UniformStats { return s.u.Stats() }
+
+// Valid reports whether the sampler's key still maps to the key
+// lifetime it was created on; false means every future Sample will
+// return ErrSamplerInvalid (the key was Deleted, or Deleted and
+// re-Added). Caches of shareable samplers use it to evict dead entries.
+func (s *Sampler) Valid() bool {
+	e, ok := s.db.shardOf(s.key).load().sets[s.key]
+	return ok && e.gen == s.gen
+}
+
+// SafetyFactor returns the underlying sampler's current acceptance
+// headroom C (calibration introspection; it only ever rises).
+func (s *Sampler) SafetyFactor() float64 { return s.u.SafetyFactor() }
+
+// MaxAttempts returns the underlying sampler's rejection-loop bound.
+func (s *Sampler) MaxAttempts() int { return s.u.MaxAttempts() }
 
 // UniformSampler returns a rejection-corrected exactly-uniform sampler
 // for the set under key. The returned Sampler is lock-free on every draw
