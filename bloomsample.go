@@ -223,6 +223,11 @@ type SetDBOptions = setdb.Options
 // recalibrating against the newly published filter version.
 type SetDBSampler = setdb.Sampler
 
+// SetDBWrite is one pending mutation for SetDB's group-commit path
+// (SetDB.AddMany/ApplyBatch): a whole batch of writes publishes one
+// snapshot per touched shard instead of one per key, all-or-nothing.
+type SetDBWrite = setdb.Write
+
 // OpenSetDB creates an empty set database.
 func OpenSetDB(opts SetDBOptions) (*SetDB, error) { return setdb.Open(opts) }
 

@@ -112,6 +112,12 @@ func main() {
 				ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
 			})
 		}
+		// One-line human summary where an experiment defines one (the
+		// writeamp sweep), so the headline is checkable without tooling.
+		if line, ok := experiments.WriteAmpSummary(tables); ok {
+			fmt.Println(line)
+			fmt.Println()
+		}
 		je.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		report.Experiments = append(report.Experiments, je)
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))

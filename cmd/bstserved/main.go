@@ -48,6 +48,7 @@ func main() {
 		pruned    = flag.Bool("pruned", true, "use a pruned tree for a fresh database (grows on demand)")
 		demo      = flag.Int("demo", 0, "preload a plain set 'demo' with this many random ids (0: none)")
 		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest buffered sample n / add-remove id batch / reconstruction accepted (0: default)")
+		maxSets   = flag.Int("max-batch-sets", server.DefaultMaxBatchSets, "largest number of sets in one batch /v1/add request (0: default)")
 		maxStream = flag.Int("max-stream-batch", server.DefaultMaxStreamBatch, "largest streaming (NDJSON) sample n accepted (0: default)")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "largest request body in bytes (0: default)")
 		shutdown  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -72,7 +73,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(db, server.Config{MaxBatch: *maxBatch, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody}),
+		Handler: server.New(db, server.Config{MaxBatch: *maxBatch, MaxBatchSets: *maxSets, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody}),
 		// ReadTimeout bounds a trickled request body the way the
 		// handler's per-chunk write deadlines bound a slow reader; no
 		// WriteTimeout, which would kill legitimate long NDJSON streams.

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSampleScratchSteadyStateZeroAllocs pins the allocation-free
+// contract of the scratch-threaded descent: once the caller-owned
+// scratch buffer has grown to the family's k, a draw performs zero heap
+// allocations — no pooled buffers, no per-leaf scratch, nothing. This is
+// the per-draw path under DB.SampleMany, so a regression here taxes
+// every batched sampling workload.
+func TestSampleScratchSteadyStateZeroAllocs(t *testing.T) {
+	cfg := Config{Namespace: 4096, Bits: 4096, K: 3, Seed: 5, Depth: 6}
+	tree, err := BuildTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tree.NewQueryFilter()
+	for i := uint64(0); i < 200; i++ {
+		q.Add(i * 19 % 4096)
+	}
+	rng := rand.New(rand.NewSource(42))
+	scratch := make([]uint64, 0, ScratchHint)
+	// Warm up: grow the scratch to k and let any lazy runtime state
+	// settle before counting.
+	for i := 0; i < 16; i++ {
+		if _, scratch, err = tree.SampleScratch(q, rng, nil, scratch); err != nil && err != ErrNoSample {
+			t.Fatal(err)
+		}
+	}
+	var ops Ops
+	allocs := testing.AllocsPerRun(500, func() {
+		var err error
+		if _, scratch, err = tree.SampleScratch(q, rng, &ops, scratch); err != nil && err != ErrNoSample {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SampleScratch allocates %v per draw, want 0", allocs)
+	}
+	if ops.NodesVisited == 0 {
+		t.Fatal("descent did no work")
+	}
+}

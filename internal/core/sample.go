@@ -26,30 +26,45 @@ var ErrNoSample = fmt.Errorf("core: no sample found")
 // filter's false positives — per the problem statement (§1). ops, if
 // non-nil, accumulates operation counts.
 func (t *Tree) Sample(q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, error) {
+	var buf [maxScratchK]uint64
+	x, _, err := t.SampleScratch(q, rng, ops, buf[:0])
+	return x, err
+}
+
+// SampleScratch is Sample with a caller-owned hash-position scratch
+// buffer: the whole descent (including every leaf membership probe, via
+// bloom.ContainsScratch) appends into scratch instead of allocating, and
+// the possibly grown buffer is returned for the next call. A steady-state
+// sampling loop that threads the returned buffer back in performs zero
+// heap allocations per draw; DB.SampleMany's workers are built on it.
+// Like Sample it is read-only on the tree and the query filter; the
+// caller owns rng, ops and scratch.
+func (t *Tree) SampleScratch(q *bloom.Filter, rng *rand.Rand, ops *Ops, scratch []uint64) (uint64, []uint64, error) {
 	if err := t.checkQuery(q); err != nil {
-		return 0, err
+		return 0, scratch, err
 	}
 	root := t.rootNode()
 	if root == nil { // empty pruned tree
-		return 0, ErrNoSample
+		return 0, scratch, ErrNoSample
 	}
-	x, ok := t.sampleNode(root, q, rng, ops)
+	x, ok, scratch := t.sampleNode(root, q, rng, ops, scratch)
 	if !ok {
-		return 0, ErrNoSample
+		return 0, scratch, ErrNoSample
 	}
-	return x, nil
+	return x, scratch, nil
 }
 
 // sampleNode implements one recursive step of BSTSample. Child pointers
 // and filters are loaded once per visit, so a step races a concurrent
-// growth publish only by seeing either the old or the new version.
-func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, bool) {
+// growth publish only by seeing either the old or the new version. The
+// scratch buffer is threaded through the recursion and returned grown.
+func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops, scratch []uint64) (uint64, bool, []uint64) {
 	if ops != nil {
 		ops.NodesVisited++
 	}
 	left, right := n.children()
 	if left == nil && right == nil {
-		return t.sampleLeaf(n, q, rng, ops)
+		return t.sampleLeaf(n, q, rng, ops, scratch)
 	}
 
 	lEst := t.childEstimate(left, q, ops)
@@ -61,7 +76,7 @@ func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 	// positive path; report NULL so the caller backtracks (Algorithm 1
 	// lines 17–18).
 	if !lOK && !rOK {
-		return 0, false
+		return 0, false, scratch
 	}
 
 	// Otherwise choose a child with probability proportional to the
@@ -74,16 +89,17 @@ func (t *Tree) sampleNode(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 	if p := lEst / (lEst + rEst); rng.Float64() >= p {
 		first, second = right, left
 	}
-	if x, ok := t.sampleNode(first, q, rng, ops); ok {
-		return x, true
+	x, ok, scratch := t.sampleNode(first, q, rng, ops, scratch)
+	if ok {
+		return x, true, scratch
 	}
 	if ops != nil {
 		ops.Backtracks++
 	}
 	if second == nil { // pruned tree: missing sibling
-		return 0, false
+		return 0, false, scratch
 	}
-	return t.sampleNode(second, q, rng, ops)
+	return t.sampleNode(second, q, rng, ops, scratch)
 }
 
 // childEstimate returns the estimated intersection size of a child filter
@@ -100,16 +116,14 @@ func (t *Tree) childEstimate(child *node, q *bloom.Filter, ops *Ops) float64 {
 
 // sampleLeaf brute-force checks the leaf's range against q and picks one
 // positive uniformly at random (reservoir over the range, so no
-// allocation).
-func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (uint64, bool) {
+// allocation beyond the caller's scratch buffer).
+func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops, scratch []uint64) (uint64, bool, []uint64) {
 	if ops != nil {
 		ops.LeavesScanned++
 		ops.Memberships += n.hi - n.lo
 	}
 	var chosen uint64
 	count := 0
-	var buf [maxScratchK]uint64
-	scratch := buf[:0]
 	for x := n.lo; x < n.hi; x++ {
 		var hit bool
 		hit, scratch = q.ContainsScratch(x, scratch)
@@ -120,12 +134,18 @@ func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops) (u
 			}
 		}
 	}
-	return chosen, count > 0
+	return chosen, count > 0, scratch
 }
 
-// maxScratchK sizes the stack scratch for leaf scans; families with more
-// hash functions than this just grow the buffer once per scan.
+// maxScratchK sizes the initial hash-position scratch for descents and
+// leaf scans; families with more hash functions than this just grow the
+// buffer once per scan.
 const maxScratchK = 16
+
+// ScratchHint is the recommended initial capacity for the scratch buffer
+// threaded through SampleScratch: large enough for every shipped hash
+// family, so steady-state sampling loops never grow it.
+const ScratchHint = maxScratchK
 
 // positivesInLeaf collects every element of the leaf range answering
 // positively, appending to out.

@@ -206,6 +206,7 @@ func Registry() map[string]Runner {
 		"abl-hashinvert":  RunAblationHashInvert,
 		"concurrency":     RunConcurrency,
 		"serving":         RunServing,
+		"writeamp":        RunWriteAmp,
 	}
 }
 
@@ -218,7 +219,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency", "serving",
+		"concurrency", "serving", "writeamp",
 	}
 }
 

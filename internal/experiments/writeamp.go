@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/setdb"
+)
+
+// RunWriteAmp measures copy-on-write write amplification — the bytes of
+// bookkeeping state copied to publish one write — across a keys-per-shard
+// × write-batch-size sweep, comparing the chunked persistent shard
+// states against the pre-chunking flat-map baseline (one whole-shard map
+// clone per write).
+//
+// Every cell drives one shard only: all keys are generated to hash to
+// shard 0, so keys_per_shard is exactly the occupancy the write path
+// sees. The "flat" rows are the old design's cost — its bytes-per-write
+// is computed with the database's own per-entry accounting formula
+// (setdb.EntryCopyBytes) over the same key population, and its
+// micros-per-write is measured from real whole-map clones — while the
+// "chunked" rows measure the live database: batch=1 is the plain Add
+// path (one chunk clone per write), larger batches go through the
+// group-commit path (ApplyBatch), which also amortizes the chunk-table
+// clone across the batch. vs_flat is the flat/chunked bytes ratio: how
+// many times less state the chunked design copies per write.
+func RunWriteAmp(c Config) ([]*Table, error) {
+	const (
+		M          = 4096 // namespace: write payloads are irrelevant here
+		measured   = 256  // measured writes per cell
+		flatClones = 8    // real map clones timed for the flat baseline
+	)
+	keysSweep := []int{1_000, 10_000, 100_000}
+	batches := []int{1, 16, 128}
+
+	tbl := &Table{
+		ID: "writeamp",
+		Title: fmt.Sprintf("bytes of shard state copied per write: chunked vs flat-map baseline (single shard, %d writes/cell)",
+			measured),
+		Columns: []string{
+			"mode", "keys_per_shard", "batch", "writes", "bytes_per_write", "micros_per_write", "vs_flat",
+		},
+	}
+
+	for _, nKeys := range keysSweep {
+		keys := shardLocalKeys(0, nKeys)
+
+		// Flat baseline: every write clones the whole shard map. The byte
+		// cost is deterministic at fixed occupancy; the wall-clock cost is
+		// measured from real clones of an equally sized map.
+		var flatBytes uint64
+		for _, k := range keys {
+			flatBytes += setdb.EntryCopyBytes(len(k))
+		}
+		flat := make(map[string]uint64, nKeys)
+		for i, k := range keys {
+			flat[k] = uint64(i)
+		}
+		start := time.Now()
+		for i := 0; i < flatClones; i++ {
+			clone := make(map[string]uint64, len(flat))
+			for k, v := range flat {
+				clone[k] = v
+			}
+			writeAmpSink += len(clone)
+		}
+		flatMicros := float64(time.Since(start).Microseconds()) / flatClones
+		tbl.Add("flat", strconv.Itoa(nKeys), "1", strconv.Itoa(measured),
+			fmt.Sprintf("%d", flatBytes), fmt.Sprintf("%.1f", flatMicros), "1.0x")
+
+		// Chunked: one populated database per occupancy, measured at each
+		// batch size. Measured writes only update existing keys, so the
+		// occupancy (and with it the per-write cost) stays fixed.
+		db, err := setdb.Open(setdb.Options{
+			Namespace: M, Bits: 256, K: c.K,
+			HashKind: c.HashKind, Seed: c.Seed, TreeDepth: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := c.rng(uint64(nKeys))
+		populate := make([]setdb.Write, 0, 4096)
+		for lo := 0; lo < len(keys); lo += cap(populate) {
+			hi := min(lo+cap(populate), len(keys))
+			populate = populate[:0]
+			for _, k := range keys[lo:hi] {
+				populate = append(populate, setdb.Write{Key: k, IDs: []uint64{rng.Uint64() % M}})
+			}
+			if err := db.ApplyBatch(populate); err != nil {
+				return nil, err
+			}
+		}
+
+		for _, batch := range batches {
+			before := db.Stats()
+			start := time.Now()
+			done := 0
+			for done < measured {
+				n := min(batch, measured-done)
+				writes := make([]setdb.Write, n)
+				for j := 0; j < n; j++ {
+					// Stride-97 walk over the key population: spread across
+					// chunks, no duplicates within a batch.
+					k := keys[(done+j)*97%len(keys)]
+					writes[j] = setdb.Write{Key: k, IDs: []uint64{rng.Uint64() % M}}
+				}
+				if batch == 1 {
+					err = db.Add(writes[0].Key, writes[0].IDs...)
+				} else {
+					err = db.ApplyBatch(writes)
+				}
+				if err != nil {
+					return nil, err
+				}
+				done += n
+			}
+			elapsed := time.Since(start)
+			after := db.Stats()
+			bytesPerWrite := float64(after.StateBytesCopied-before.StateBytesCopied) / measured
+			tbl.Add("chunked", strconv.Itoa(nKeys), strconv.Itoa(batch), strconv.Itoa(measured),
+				fmt.Sprintf("%.0f", bytesPerWrite),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/measured),
+				fmt.Sprintf("%.1fx", float64(flatBytes)/bytesPerWrite))
+		}
+	}
+	return []*Table{tbl}, nil
+}
+
+// writeAmpSink keeps the flat baseline's map clones from being optimized
+// away.
+var writeAmpSink int
+
+// shardLocalKeys returns n distinct keys that all hash to the given
+// shard, so a sweep can set one shard's occupancy exactly.
+func shardLocalKeys(shard, n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := "k" + strconv.Itoa(i)
+		if setdb.ShardOf(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// WriteAmpSummary condenses a writeamp run into one human-checkable
+// line: the mean bytes copied per write under the old flat-map design vs
+// the chunked design (batch=1, the directly comparable per-write path),
+// plus the best coalesced figure the group-commit path reached. The
+// second return is false when the tables are not a writeamp run.
+func WriteAmpSummary(tables []*Table) (string, bool) {
+	for _, t := range tables {
+		if t.ID != "writeamp" {
+			continue
+		}
+		col := map[string]int{}
+		for i, c := range t.Columns {
+			col[c] = i
+		}
+		var flatSum, flatN, chunkSum, chunkN, best float64
+		for _, row := range t.Rows {
+			bpw, err := strconv.ParseFloat(row[col["bytes_per_write"]], 64)
+			if err != nil {
+				continue
+			}
+			switch row[col["mode"]] {
+			case "flat":
+				flatSum += bpw
+				flatN++
+			case "chunked":
+				if row[col["batch"]] == "1" {
+					chunkSum += bpw
+					chunkN++
+				}
+				if best == 0 || bpw < best {
+					best = bpw
+				}
+			}
+		}
+		if flatN == 0 || chunkN == 0 {
+			return "", false
+		}
+		flatMean, chunkMean := flatSum/flatN, chunkSum/chunkN
+		return fmt.Sprintf(
+			"writeamp: mean bytes copied per write: flat %s vs chunked %s (%.1fx lower); best coalesced %s/write",
+			humanBytes(flatMean), humanBytes(chunkMean), flatMean/chunkMean, humanBytes(best)), true
+	}
+	return "", false
+}
+
+// humanBytes renders a byte count at human scale.
+func humanBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

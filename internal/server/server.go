@@ -8,7 +8,7 @@
 //	POST /v1/sample        draw n samples (single, batch, uniform, dynamic; NDJSON streaming)
 //	POST /v1/reconstruct   reconstruct a stored set
 //	POST /v1/intersection  estimate |A ∩ B| for two stored sets
-//	POST /v1/add           insert ids (plain copy-on-write or dynamic counting set)
+//	POST /v1/add           insert ids (plain copy-on-write or dynamic counting set; multi-key batches group-commit)
 //	POST /v1/remove        remove ids from a dynamic set (all-or-nothing)
 //	GET  /v1/stats         shard/epoch/calibration introspection + per-endpoint metrics
 //
@@ -41,6 +41,7 @@ const (
 	DefaultMaxBatch       = 100_000
 	DefaultMaxStreamBatch = 10_000_000
 	DefaultMaxBodyBytes   = 1 << 20
+	DefaultMaxBatchSets   = 1_000
 )
 
 // Config bounds and seeds a Server. The zero value gets sensible
@@ -50,6 +51,12 @@ type Config struct {
 	// add/remove request, and the (estimated) size of a reconstructed
 	// set (default DefaultMaxBatch). Oversized requests get 413.
 	MaxBatch int
+	// MaxBatchSets caps the number of sets in one batch add request
+	// (default DefaultMaxBatchSets). The id count alone does not bound a
+	// batch's work: every new key allocates a full-size filter and the
+	// whole group commit holds its shards' write mutexes while building,
+	// so the key count needs its own, much tighter cap.
+	MaxBatchSets int
 	// MaxStreamBatch caps the n of a streaming sample request (default
 	// DefaultMaxStreamBatch). Streaming holds only one chunk in memory,
 	// so it affords far larger batches than the buffered mode; this
@@ -78,6 +85,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBatchSets <= 0 {
+		c.MaxBatchSets = DefaultMaxBatchSets
 	}
 	if c.MaxStreamBatch <= 0 {
 		c.MaxStreamBatch = DefaultMaxStreamBatch
@@ -574,19 +584,39 @@ func (s *Server) handleIntersection(w http.ResponseWriter, r *http.Request) erro
 	return nil
 }
 
-// AddRequest inserts IDs under Key, creating the set on first use.
-// Dynamic selects the counting-filter (deletable) storage kind; the kind
-// is fixed at creation and mixing kinds on one key is a 409.
+// AddRequest inserts ids, creating sets on first use. Two shapes apply:
+//
+//   - single-key: Key + IDs (+ Dynamic) — one copy-on-write publish.
+//   - batch: Sets — any number of key/ids pairs applied through the
+//     database's group-commit path (setdb.ApplyBatch), which folds the
+//     whole batch into one snapshot publish per touched shard, so heavy
+//     ingest pays one publish per batch rather than one per key. The
+//     batch is all-or-nothing: any clash or out-of-range id applies
+//     nothing.
+//
+// Exactly one shape must be used per request. Dynamic selects the
+// counting-filter (deletable) storage kind; the kind is fixed at
+// creation and mixing kinds on one key is a 409.
 type AddRequest struct {
+	Key     string   `json:"key,omitempty"`
+	IDs     []uint64 `json:"ids,omitempty"`
+	Dynamic bool     `json:"dynamic,omitempty"`
+	Sets    []AddSet `json:"sets,omitempty"`
+}
+
+// AddSet is one key's pending writes within a batch AddRequest.
+type AddSet struct {
 	Key     string   `json:"key"`
 	IDs     []uint64 `json:"ids"`
 	Dynamic bool     `json:"dynamic,omitempty"`
 }
 
-// AddResponse acknowledges a write.
+// AddResponse acknowledges a write. Keys is the number of keys written
+// (batch shape only).
 type AddResponse struct {
-	Key   string `json:"key"`
+	Key   string `json:"key,omitempty"`
 	Added int    `json:"added"`
+	Keys  int    `json:"keys,omitempty"`
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
@@ -594,8 +624,11 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decode(w, r, &req); err != nil {
 		return err
 	}
+	if len(req.Sets) > 0 {
+		return s.addBatch(w, req)
+	}
 	if req.Key == "" {
-		return errf(http.StatusBadRequest, "missing key")
+		return errf(http.StatusBadRequest, "missing key (or sets for a batch)")
 	}
 	if len(req.IDs) > s.cfg.MaxBatch {
 		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", len(req.IDs), s.cfg.MaxBatch)
@@ -610,6 +643,37 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	writeJSON(w, http.StatusOK, AddResponse{Key: req.Key, Added: len(req.IDs)})
+	return nil
+}
+
+// addBatch serves the batch shape of /v1/add over the group-commit path.
+// Two limits bound the work: MaxBatch caps the total id count across the
+// batch (as for the single-key shape), and MaxBatchSets caps the key
+// count — each set costs a full-size filter allocation and lengthens the
+// locked group-commit build regardless of how few ids it carries.
+func (s *Server) addBatch(w http.ResponseWriter, req AddRequest) error {
+	if req.Key != "" || len(req.IDs) > 0 || req.Dynamic {
+		return errf(http.StatusBadRequest, "use either key/ids or sets, not both")
+	}
+	if len(req.Sets) > s.cfg.MaxBatchSets {
+		return errf(http.StatusRequestEntityTooLarge, "%d sets exceed the batch limit %d", len(req.Sets), s.cfg.MaxBatchSets)
+	}
+	total := 0
+	writes := make([]setdb.Write, len(req.Sets))
+	for i, set := range req.Sets {
+		if set.Key == "" {
+			return errf(http.StatusBadRequest, "sets[%d]: missing key", i)
+		}
+		total += len(set.IDs)
+		writes[i] = setdb.Write{Key: set.Key, IDs: set.IDs, Dynamic: set.Dynamic}
+	}
+	if total > s.cfg.MaxBatch {
+		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", total, s.cfg.MaxBatch)
+	}
+	if err := s.db.ApplyBatch(writes); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, AddResponse{Added: total, Keys: len(req.Sets)})
 	return nil
 }
 
@@ -648,18 +712,31 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) error {
 // DBStats mirrors setdb.DBStats with JSON tags; per-shard occupancy is
 // summarized to occupied/min/max so the payload stays small at 64 shards.
 type DBStats struct {
-	Sets            int    `json:"sets"`
-	DynamicSets     int    `json:"dynamic_sets"`
-	Shards          int    `json:"shards"`
-	OccupiedShards  int    `json:"occupied_shards"`
-	MaxShardKeys    int    `json:"max_shard_keys"`
-	Generations     uint64 `json:"generations"`
-	TreeNodes       uint64 `json:"tree_nodes"`
-	TreeDepth       int    `json:"tree_depth"`
-	TreePruned      bool   `json:"tree_pruned"`
-	TreeMemoryBytes uint64 `json:"tree_memory_bytes"`
-	GrowthEpoch     uint64 `json:"growth_epoch"`
-	SubtreeEpochs   uint64 `json:"subtree_epochs_active"` // stripes with ≥1 completed epoch
+	Sets           int `json:"sets"`
+	DynamicSets    int `json:"dynamic_sets"`
+	Shards         int `json:"shards"`
+	OccupiedShards int `json:"occupied_shards"`
+	MaxShardKeys   int `json:"max_shard_keys"`
+	// Chunk occupancy and write-amplification observability: every write
+	// copies one chunk of its shard's chunked key map (plus the chunk
+	// table), so mean_bytes_copied_per_write is the live amplification
+	// figure, and occupied_chunks/max_chunk_keys show how evenly the
+	// copy units are loaded. state_publishes < state_writes means group
+	// commit (batch /v1/add) is coalescing writes into shared publishes.
+	ChunksPerShard          int     `json:"chunks_per_shard"`
+	OccupiedChunks          int     `json:"occupied_chunks"`
+	MaxChunkKeys            int     `json:"max_chunk_keys"`
+	StateWrites             uint64  `json:"state_writes"`
+	StatePublishes          uint64  `json:"state_publishes"`
+	StateBytesCopied        uint64  `json:"state_bytes_copied"`
+	MeanBytesCopiedPerWrite float64 `json:"mean_bytes_copied_per_write"`
+	Generations             uint64  `json:"generations"`
+	TreeNodes               uint64  `json:"tree_nodes"`
+	TreeDepth               int     `json:"tree_depth"`
+	TreePruned              bool    `json:"tree_pruned"`
+	TreeMemoryBytes         uint64  `json:"tree_memory_bytes"`
+	GrowthEpoch             uint64  `json:"growth_epoch"`
+	SubtreeEpochs           uint64  `json:"subtree_epochs_active"` // stripes with ≥1 completed epoch
 }
 
 // SamplerStats is the calibration view of one cached uniform sampler.
@@ -699,15 +776,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	resp := StatsResponse{
 		UptimeSeconds: uptime.Seconds(),
 		DB: DBStats{
-			Sets:            st.Sets,
-			DynamicSets:     st.DynamicSets,
-			Shards:          len(st.Shards),
-			Generations:     st.Generations,
-			TreeNodes:       st.TreeNodes,
-			TreeDepth:       st.TreeDepth,
-			TreePruned:      st.TreePruned,
-			TreeMemoryBytes: st.TreeMemoryBytes,
-			GrowthEpoch:     st.GrowthEpoch,
+			Sets:                    st.Sets,
+			DynamicSets:             st.DynamicSets,
+			Shards:                  len(st.Shards),
+			ChunksPerShard:          st.ChunksPerShard,
+			StateWrites:             st.StateWrites,
+			StatePublishes:          st.StatePublishes,
+			StateBytesCopied:        st.StateBytesCopied,
+			MeanBytesCopiedPerWrite: st.MeanBytesCopiedPerWrite(),
+			Generations:             st.Generations,
+			TreeNodes:               st.TreeNodes,
+			TreeDepth:               st.TreeDepth,
+			TreePruned:              st.TreePruned,
+			TreeMemoryBytes:         st.TreeMemoryBytes,
+			GrowthEpoch:             st.GrowthEpoch,
 		},
 		Endpoints: map[string]EndpointStats{},
 	}
@@ -727,6 +809,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		}
 		if keys > resp.DB.MaxShardKeys {
 			resp.DB.MaxShardKeys = keys
+		}
+		resp.DB.OccupiedChunks += st.Shards[i].OccupiedChunks
+		if st.Shards[i].MaxChunkKeys > resp.DB.MaxChunkKeys {
+			resp.DB.MaxChunkKeys = st.Shards[i].MaxChunkKeys
 		}
 	}
 	for _, e := range st.SubtreeEpochs {

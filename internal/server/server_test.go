@@ -508,3 +508,94 @@ func TestConcurrentAddSample(t *testing.T) {
 		}
 	}
 }
+
+// TestAddBatch covers the group-commit shape of /v1/add: multi-key
+// batches land atomically through setdb.ApplyBatch, mixing shapes is a
+// 400, clashes roll the whole batch back with a 409, and the write
+// coalescing shows up in /v1/stats as fewer publishes than writes.
+func TestAddBatch(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	var ar AddResponse
+	body := `{"sets":[{"key":"b1","ids":[1,2]},{"key":"b2","ids":[3]},{"key":"bd","ids":[4,5],"dynamic":true}]}`
+	if code := post(t, ts, "/v1/add", body, &ar); code != 200 {
+		t.Fatalf("batch add: status %d", code)
+	}
+	if ar.Added != 5 || ar.Keys != 3 {
+		t.Fatalf("batch ack wrong: %+v", ar)
+	}
+	for key, id := range map[string]uint64{"b1": 1, "b2": 3} {
+		if ok, err := db.Contains(key, id); err != nil || !ok {
+			t.Fatalf("%s should contain %d (ok=%v err=%v)", key, id, ok, err)
+		}
+	}
+	if ok, err := db.ContainsDynamic("bd", 4); err != nil || !ok {
+		t.Fatalf("bd should contain 4 (ok=%v err=%v)", ok, err)
+	}
+
+	// Mixing the single-key and batch shapes is ambiguous → 400.
+	if code := post(t, ts, "/v1/add", `{"key":"x","ids":[1],"sets":[{"key":"y","ids":[2]}]}`, nil); code != 400 {
+		t.Fatalf("mixed shapes: status %d, want 400", code)
+	}
+	if code := post(t, ts, "/v1/add", `{"sets":[{"key":"","ids":[1]}]}`, nil); code != 400 {
+		t.Fatalf("batch with empty key: status %d, want 400", code)
+	}
+
+	// A clash anywhere rolls back the whole batch: "fresh" must not
+	// appear even though its write precedes the clashing one.
+	if code := post(t, ts, "/v1/add", `{"sets":[{"key":"fresh","ids":[9]},{"key":"dyn","ids":[1]}]}`, nil); code != 409 {
+		t.Fatalf("clashing batch: status %d, want 409", code)
+	}
+	if db.Filter("fresh") != nil {
+		t.Fatal("aborted batch leaked a key")
+	}
+
+	// The batch total obeys MaxBatch, and the set count its own (tighter)
+	// MaxBatchSets cap — many near-empty sets are not a cheap request:
+	// each allocates a full-size filter inside the locked group commit.
+	ts2, _ := newTestServer(t, Config{MaxBatch: 3, MaxBatchSets: 2})
+	if code := post(t, ts2, "/v1/add", `{"sets":[{"key":"a","ids":[1,2]},{"key":"b","ids":[3,4]}]}`, nil); code != 413 {
+		t.Fatalf("oversized batch total: status %d, want 413", code)
+	}
+	if code := post(t, ts2, "/v1/add", `{"sets":[{"key":"a","ids":[]},{"key":"b","ids":[]},{"key":"c","ids":[]}]}`, nil); code != 413 {
+		t.Fatalf("oversized set count: status %d, want 413", code)
+	}
+}
+
+// TestStatsWriteAmplification checks the /v1/stats write-amplification
+// observability: chunk occupancy, copy counters and the coalescing
+// signal (publishes < writes after a batch add).
+func TestStatsWriteAmplification(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	// Four keys in one shard, so the group commit provably folds four
+	// writes into a single publish.
+	var sets []string
+	for i := 0; len(sets) < 4; i++ {
+		k := fmt.Sprintf("w%d", i)
+		if setdb.ShardOf(k) == setdb.ShardOf("w0") {
+			sets = append(sets, fmt.Sprintf(`{"key":%q,"ids":[%d]}`, k, i%100))
+		}
+	}
+	body := fmt.Sprintf(`{"sets":[%s]}`, strings.Join(sets, ","))
+	if code := post(t, ts, "/v1/add", body, nil); code != 200 {
+		t.Fatalf("batch add: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DB.ChunksPerShard == 0 || st.DB.OccupiedChunks == 0 || st.DB.MaxChunkKeys == 0 {
+		t.Fatalf("chunk occupancy not exposed: %+v", st.DB)
+	}
+	if st.DB.StateWrites == 0 || st.DB.StateBytesCopied == 0 || st.DB.MeanBytesCopiedPerWrite <= 0 {
+		t.Fatalf("write-amplification counters not exposed: %+v", st.DB)
+	}
+	if st.DB.StatePublishes >= st.DB.StateWrites {
+		t.Fatalf("batch add did not coalesce publishes: writes=%d publishes=%d",
+			st.DB.StateWrites, st.DB.StatePublishes)
+	}
+}

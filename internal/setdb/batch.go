@@ -1,0 +1,171 @@
+package setdb
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+)
+
+// Group commit: the write-coalescing path. A single Add pays one chunk
+// clone plus one snapshot publish; under heavy ingest (bulk loads, the
+// server's batch /v1/add) that is still one publish per key. ApplyBatch
+// instead folds any number of pending writes into one published
+// successor snapshot per touched shard: the chunk table is cloned once
+// per shard, each touched chunk once, and the atomic store happens once —
+// N writes landing in one shard pay amortized O(keys/chunk · touched
+// chunks / N) copying instead of N full clones.
+
+// Write is one pending mutation for the group-commit path: insert IDs
+// into the set under Key, creating it on first use; Dynamic selects the
+// counting-filter (deletable) storage kind, exactly as AddDynamic does.
+type Write struct {
+	Key     string
+	IDs     []uint64
+	Dynamic bool
+}
+
+// AddMany is the variadic convenience form of ApplyBatch.
+func (db *DB) AddMany(writes ...Write) error { return db.ApplyBatch(writes) }
+
+// ApplyBatch applies a batch of writes with one snapshot publish per
+// touched shard. Writes to the same key compose in slice order, exactly
+// as sequential Add/AddDynamic calls would.
+//
+// The batch is all-or-nothing: every id is namespace-validated and every
+// key's storage kind is checked before anything is published, and a
+// failure (ErrOutOfRange, ErrKeyClash) leaves the database exactly as it
+// was. On a pruned database the shared tree grows once for the union of
+// all ids, before any shard lock is taken; as with Add, tree occupancy
+// from a batch that later fails costs performance, never correctness.
+//
+// Locking: the touched shards are locked in ascending index order (the
+// same order snapshotAll uses), so concurrent batches, single writes and
+// serialization never deadlock. Readers are unaffected throughout — they
+// keep loading the previous snapshots until the single publishing store.
+func (db *DB) ApplyBatch(writes []Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	// Validate everything validatable before paying for tree growth.
+	total := 0
+	for i := range writes {
+		if err := db.validateIDs(writes[i].IDs); err != nil {
+			return err
+		}
+		total += len(writes[i].IDs)
+	}
+	if db.opts.Pruned && total > 0 {
+		all := make([]uint64, 0, total)
+		for i := range writes {
+			all = append(all, writes[i].IDs...)
+		}
+		if err := db.tree.InsertBatch(all); err != nil {
+			return err
+		}
+	}
+
+	// Group the writes by shard, keeping slice order within each group.
+	hashes := make([]uint64, len(writes))
+	var byShard [numShards][]int
+	var touched []int
+	for i := range writes {
+		h := keyHash(writes[i].Key)
+		hashes[i] = h
+		si := int(h % numShards)
+		if byShard[si] == nil {
+			touched = append(touched, si)
+		}
+		byShard[si] = append(byShard[si], i)
+	}
+	// touched must be ascending for the deadlock-free lock order; the
+	// shard count is tiny, so insertion sort is plenty.
+	for i := 1; i < len(touched); i++ {
+		for j := i; j > 0 && touched[j] < touched[j-1]; j-- {
+			touched[j], touched[j-1] = touched[j-1], touched[j]
+		}
+	}
+	for _, si := range touched {
+		db.shards[si].mu.Lock()
+	}
+	defer func() {
+		for _, si := range touched {
+			db.shards[si].mu.Unlock()
+		}
+	}()
+
+	// Build every shard's successor snapshot before publishing any of
+	// them: a clash detected while building aborts the whole batch with
+	// nothing published. Builders are created lazily per entry kind so a
+	// plain-only batch never copies a shard's dynamic chunk table (and
+	// vice versa).
+	type pendingShard struct {
+		si   int
+		sets *chunkBuilder[setEntry]
+		dyn  *chunkBuilder[*bloom.CountingFilter]
+	}
+	pending := make([]pendingShard, 0, len(touched))
+	for _, si := range touched {
+		cur := db.shards[si].load()
+		p := pendingShard{si: si}
+		for _, wi := range byShard[si] {
+			w := &writes[wi]
+			h := hashes[wi]
+			if w.Dynamic {
+				if p.sets != nil {
+					if _, clash := p.sets.get(h, w.Key); clash {
+						return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, w.Key)
+					}
+				} else if _, clash := cur.sets.get(h, w.Key); clash {
+					return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, w.Key)
+				}
+				if p.dyn == nil {
+					p.dyn = newChunkBuilder(cur.dynamic)
+				}
+				if c, ok := p.dyn.get(h, w.Key); ok {
+					p.dyn.set(h, w.Key, c.CloneAdd(w.IDs...))
+				} else {
+					c := bloom.NewCounting(db.fam)
+					for _, id := range w.IDs {
+						c.Add(id)
+					}
+					p.dyn.set(h, w.Key, c)
+				}
+			} else {
+				if p.dyn != nil {
+					if _, clash := p.dyn.get(h, w.Key); clash {
+						return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, w.Key)
+					}
+				} else if _, clash := cur.dynamic.get(h, w.Key); clash {
+					return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, w.Key)
+				}
+				if p.sets == nil {
+					p.sets = newChunkBuilder(cur.sets)
+				}
+				if e, ok := p.sets.get(h, w.Key); ok {
+					p.sets.set(h, w.Key, setEntry{f: e.f.CloneAdd(w.IDs...), gen: e.gen, ver: e.ver + 1})
+				} else {
+					p.sets.set(h, w.Key, setEntry{f: bloom.NewFromElements(db.fam, w.IDs), gen: db.gen.Add(1)})
+				}
+			}
+		}
+		pending = append(pending, p)
+	}
+
+	// Publish: one atomic store per touched shard.
+	var copied uint64
+	for _, p := range pending {
+		cur := db.shards[p.si].load()
+		next := &shardState{sets: cur.sets, dynamic: cur.dynamic}
+		if p.sets != nil {
+			next.sets = p.sets.freeze()
+			copied += p.sets.bytes
+		}
+		if p.dyn != nil {
+			next.dynamic = p.dyn.freeze()
+			copied += p.dyn.bytes
+		}
+		db.shards[p.si].state.Store(next)
+	}
+	db.recordWrites(uint64(len(writes)), uint64(len(pending)), copied)
+	return nil
+}

@@ -1,0 +1,204 @@
+package setdb
+
+// Chunked persistent shard states. The original copy-on-write design
+// cloned a shard's whole key map on every write — O(keys/shard)
+// amplification that becomes the dominant write cost once a shard holds
+// ~10⁵ keys. Here each shard's key space is instead split into numChunks
+// fixed chunks by hash; a shard snapshot holds an immutable table of
+// per-chunk maps, and a write clones the table (numChunks pointers) plus
+// only the one chunk its key lives in, so the copied volume is
+// O(numChunks + keys/chunk) instead of O(keys/shard). Everything stays
+// within the existing immutable-snapshot contract: chunk maps and the
+// table are frozen once a shardState is published through the shard's
+// atomic pointer, readers never lock, and an untouched chunk is carried
+// into the successor snapshot by reference.
+
+const (
+	// numChunks is the number of fixed chunks per shard (and per entry
+	// kind). With the 64-way shard split in front of it, a database holds
+	// 16384 chunks per kind; at 10⁵ keys in one shard a chunk carries
+	// ~400 keys, so a write copies ~2 KB of table plus ~20 KB of chunk
+	// instead of several MB of flat map.
+	numChunks = 256
+	// chunkTableBytes estimates the bytes copied when a chunk table is
+	// cloned (one map header per chunk).
+	chunkTableBytes = numChunks * 8
+	// perEntryCopyBytes estimates the bytes copied per entry carried into
+	// a cloned chunk beyond the key bytes themselves: string header, the
+	// entry value and amortized map-bucket overhead.
+	perEntryCopyBytes = 48
+)
+
+// EntryCopyBytes is the database's estimate of the bytes copied when one
+// stored entry with a key of keyLen bytes is carried into a cloned map.
+// It is exported so external write-amplification accounting (the
+// bstbench writeamp experiment's flat-map baseline) uses the same
+// formula the database's own Stats counters use.
+func EntryCopyBytes(keyLen int) uint64 { return perEntryCopyBytes + uint64(keyLen) }
+
+// keyHash is the FNV-1a hash both the shard split and the chunk split
+// derive from: the shard index uses the hash modulo numShards, the chunk
+// index an independent higher bit range.
+func keyHash(key string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// shardIndex maps a key to its shard.
+func shardIndex(key string) int { return int(keyHash(key) % numShards) }
+
+// ShardOf returns the shard index key maps to. Exposed for experiments
+// and workload planning that need shard-local key sets (the bstbench
+// writeamp sweep stresses one shard at a chosen occupancy); the mapping
+// is stable for a given key, but the shard count is an internal constant.
+func ShardOf(key string) int { return shardIndex(key) }
+
+// chunkIndex maps a key hash to its chunk within a shard. It draws on a
+// bit range disjoint from the shard split so the two partitions stay
+// independent.
+func chunkIndex(h uint64) int { return int((h >> 32) % numChunks) }
+
+// chunkedMap is a persistent string-keyed map split into numChunks
+// chunks: an immutable table of small immutable maps. The zero value is
+// the empty map. Readers use get/len/rangeAll with no synchronization;
+// successor versions are produced by with/without (single write) or a
+// chunkBuilder (group commit), which clone the table and only the
+// touched chunks.
+type chunkedMap[V any] struct {
+	chunks *[numChunks]map[string]V // nil for the empty map
+	count  int
+}
+
+// len returns the number of stored keys.
+func (c chunkedMap[V]) len() int { return c.count }
+
+// get looks key up using its precomputed hash.
+func (c chunkedMap[V]) get(h uint64, key string) (V, bool) {
+	if c.chunks == nil {
+		var zero V
+		return zero, false
+	}
+	v, ok := c.chunks[chunkIndex(h)][key]
+	return v, ok
+}
+
+// rangeAll calls fn for every stored key/value, in unspecified order.
+func (c chunkedMap[V]) rangeAll(fn func(key string, v V)) {
+	if c.chunks == nil {
+		return
+	}
+	for i := range c.chunks {
+		for k, v := range c.chunks[i] {
+			fn(k, v)
+		}
+	}
+}
+
+// chunkLen returns the number of keys in chunk i.
+func (c chunkedMap[V]) chunkLen(i int) int {
+	if c.chunks == nil {
+		return 0
+	}
+	return len(c.chunks[i])
+}
+
+// with returns a successor version with key bound to v, plus the
+// estimated bytes copied building it.
+func (c chunkedMap[V]) with(h uint64, key string, v V) (chunkedMap[V], uint64) {
+	b := newChunkBuilder(c)
+	b.set(h, key, v)
+	return b.freeze(), b.bytes
+}
+
+// without returns a successor version with key removed, plus the
+// estimated bytes copied. When the key is absent it returns the receiver
+// unchanged with zero copies — a delete-miss must not pay for (or
+// publish) a clone of anything.
+func (c chunkedMap[V]) without(h uint64, key string) (chunkedMap[V], uint64, bool) {
+	if c.chunks == nil {
+		return c, 0, false
+	}
+	ci := chunkIndex(h)
+	old := c.chunks[ci]
+	if _, ok := old[key]; !ok {
+		return c, 0, false
+	}
+	next := *c.chunks
+	bytes := uint64(chunkTableBytes)
+	var m map[string]V
+	if len(old) > 1 {
+		m = make(map[string]V, len(old)-1)
+		for k, v := range old {
+			if k != key {
+				m[k] = v
+				bytes += EntryCopyBytes(len(k))
+			}
+		}
+	}
+	next[ci] = m
+	return chunkedMap[V]{chunks: &next, count: c.count - 1}, bytes, true
+}
+
+// chunkBuilder accumulates any number of writes into one successor
+// chunkedMap version: the chunk table is cloned once up front, each
+// touched chunk is cloned at most once (on first touch) and then mutated
+// privately, and freeze publishes the result. It is the group-commit
+// engine behind ApplyBatch — N writes landing in the same chunk pay for
+// one clone, not N.
+type chunkBuilder[V any] struct {
+	chunks *[numChunks]map[string]V
+	dirty  [numChunks]bool // chunks already cloned (safe to mutate)
+	count  int
+	bytes  uint64 // estimated bytes copied so far
+}
+
+// newChunkBuilder starts a builder from an existing version, paying the
+// table clone immediately.
+func newChunkBuilder[V any](from chunkedMap[V]) *chunkBuilder[V] {
+	b := &chunkBuilder[V]{count: from.count, bytes: chunkTableBytes}
+	var next [numChunks]map[string]V
+	if from.chunks != nil {
+		next = *from.chunks
+	}
+	b.chunks = &next
+	return b
+}
+
+// get looks key up in the working state (later writes observe earlier
+// ones, exactly as sequential single writes would).
+func (b *chunkBuilder[V]) get(h uint64, key string) (V, bool) {
+	v, ok := b.chunks[chunkIndex(h)][key]
+	return v, ok
+}
+
+// set binds key to v, cloning the target chunk on first touch.
+func (b *chunkBuilder[V]) set(h uint64, key string, v V) {
+	ci := chunkIndex(h)
+	if !b.dirty[ci] {
+		old := b.chunks[ci]
+		m := make(map[string]V, len(old)+1)
+		for k, val := range old {
+			m[k] = val
+			b.bytes += EntryCopyBytes(len(k))
+		}
+		b.chunks[ci] = m
+		b.dirty[ci] = true
+	}
+	if _, had := b.chunks[ci][key]; !had {
+		b.count++
+	}
+	b.chunks[ci][key] = v
+}
+
+// freeze returns the built version. The builder must not be used after.
+func (b *chunkBuilder[V]) freeze() chunkedMap[V] {
+	return chunkedMap[V]{chunks: b.chunks, count: b.count}
+}

@@ -33,10 +33,10 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 	if err := db.validateIDs(ids); err != nil {
 		return err
 	}
-	s := db.shardOf(key)
+	s, h := db.shardFor(key)
 	// Advisory clash precheck before paying for tree growth; the
 	// authoritative check runs under the shard mutex below.
-	if _, clash := s.load().sets[key]; clash {
+	if _, clash := s.load().sets.get(h, key); clash {
 		return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, key)
 	}
 	if err := db.growTree(ids); err != nil {
@@ -45,11 +45,11 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.load()
-	if _, clash := cur.sets[key]; clash {
+	if _, clash := cur.sets.get(h, key); clash {
 		return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, key)
 	}
 	var next *bloom.CountingFilter
-	if c, ok := cur.dynamic[key]; ok {
+	if c, ok := cur.dynamic.get(h, key); ok {
 		next = c.CloneAdd(ids...)
 	} else {
 		next = bloom.NewCounting(db.fam)
@@ -57,7 +57,9 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 			next.Add(id)
 		}
 	}
-	s.state.Store(cur.withDynamic(key, next))
+	nextState, copied := cur.withDynamic(h, key, next)
+	s.state.Store(nextState)
+	db.recordWrites(1, 1, copied)
 	return nil
 }
 
@@ -75,11 +77,11 @@ func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
 	if err := db.validateIDs(ids); err != nil {
 		return err
 	}
-	s := db.shardOf(key)
+	s, h := db.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.load()
-	c, ok := cur.dynamic[key]
+	c, ok := cur.dynamic.get(h, key)
 	if !ok {
 		return fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
@@ -87,13 +89,15 @@ func (db *DB) RemoveDynamic(key string, ids ...uint64) error {
 	if err != nil {
 		return err
 	}
-	s.state.Store(cur.withDynamic(key, next))
+	nextState, copied := cur.withDynamic(h, key, next)
+	s.state.Store(nextState)
+	db.recordWrites(1, 1, copied)
 	return nil
 }
 
 // ContainsDynamic reports membership in the dynamic set under key.
 func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
-	c, ok := db.shardOf(key).load().dynamic[key]
+	c, ok := db.getDynamic(key)
 	if !ok {
 		return false, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
@@ -106,7 +110,7 @@ func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
 // counting-filter version until the next mutation): treat it as
 // read-only.
 func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
-	c, ok := db.shardOf(key).load().dynamic[key]
+	c, ok := db.getDynamic(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
@@ -138,9 +142,9 @@ func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops)
 func (db *DB) DynamicKeys() []string {
 	var keys []string
 	for i := range db.shards {
-		for k := range db.shards[i].load().dynamic {
+		db.shards[i].load().dynamic.rangeAll(func(k string, _ *bloom.CountingFilter) {
 			keys = append(keys, k)
-		}
+		})
 	}
 	sort.Strings(keys)
 	return keys

@@ -1,10 +1,11 @@
 package setdb
 
 // Introspection: a point-in-time view of the database's internal shape —
-// shard occupancy, tree growth epochs, memory — for operational surfaces
-// (the bstserved /v1/stats endpoint, debugging, capacity planning). All
-// of it reads the same lock-free snapshots the query path uses, so
-// calling Stats on a hot database disturbs nothing.
+// shard occupancy, chunk occupancy, write amplification, tree growth
+// epochs, memory — for operational surfaces (the bstserved /v1/stats
+// endpoint, debugging, capacity planning). All of it reads the same
+// lock-free snapshots the query path uses, so calling Stats on a hot
+// database disturbs nothing.
 
 // ShardStats describes one key shard.
 type ShardStats struct {
@@ -12,6 +13,13 @@ type ShardStats struct {
 	// the shard's current snapshot.
 	Sets    int
 	Dynamic int
+	// OccupiedChunks is the number of the shard's chunks (out of
+	// ChunksPerShard, counting plain and dynamic chunk pairs together)
+	// holding at least one key; MaxChunkKeys is the largest combined key
+	// count of any single chunk pair — the worst-case copy unit of one
+	// write into this shard.
+	OccupiedChunks int
+	MaxChunkKeys   int
 }
 
 // DBStats is a consistent-enough introspection snapshot of the database:
@@ -23,6 +31,21 @@ type DBStats struct {
 	DynamicSets int
 	// Shards holds per-shard occupancy, indexed by shard number.
 	Shards []ShardStats
+	// ChunksPerShard is the fixed chunk count each shard's persistent key
+	// map is split into — the denominator of the copy-on-write bound (a
+	// write copies ~keys/ChunksPerShard entries, not the whole shard).
+	ChunksPerShard int
+	// StateWrites counts logical write operations applied (Add, Delete,
+	// AddDynamic, RemoveDynamic, and each Write of a batch).
+	// StatePublishes counts snapshot publishes; group commit makes it
+	// smaller than StateWrites (one publish per touched shard per batch).
+	// StateBytesCopied is the estimated total bytes copied building
+	// successor snapshots (chunk tables plus cloned chunk entries; filter
+	// clones are not included — they are payload, not amplification).
+	// StateBytesCopied/StateWrites is the mean write amplification.
+	StateWrites      uint64
+	StatePublishes   uint64
+	StateBytesCopied uint64
 	// Generations is the number of key lifetimes ever created (it only
 	// grows; Delete does not reclaim it).
 	Generations uint64
@@ -39,24 +62,47 @@ type DBStats struct {
 	SubtreeEpochs []uint64
 }
 
+// MeanBytesCopiedPerWrite returns StateBytesCopied/StateWrites (0 before
+// the first write) — the headline write-amplification figure.
+func (st DBStats) MeanBytesCopiedPerWrite() float64 {
+	if st.StateWrites == 0 {
+		return 0
+	}
+	return float64(st.StateBytesCopied) / float64(st.StateWrites)
+}
+
 // Stats returns an introspection snapshot. It is lock-free and safe to
 // call at any frequency while readers and writers run.
 func (db *DB) Stats() DBStats {
 	st := DBStats{
-		Shards:          make([]ShardStats, numShards),
-		Generations:     db.gen.Load(),
-		TreeNodes:       db.tree.Nodes(),
-		TreeDepth:       db.tree.Depth(),
-		TreePruned:      db.tree.Pruned(),
-		TreeMemoryBytes: db.tree.MemoryBytes(),
-		GrowthEpoch:     db.tree.GrowthEpoch(),
-		SubtreeEpochs:   db.tree.SubtreeEpochs(),
+		Shards:           make([]ShardStats, numShards),
+		ChunksPerShard:   numChunks,
+		StateWrites:      db.stateWrites.Load(),
+		StatePublishes:   db.statePublishes.Load(),
+		StateBytesCopied: db.stateBytes.Load(),
+		Generations:      db.gen.Load(),
+		TreeNodes:        db.tree.Nodes(),
+		TreeDepth:        db.tree.Depth(),
+		TreePruned:       db.tree.Pruned(),
+		TreeMemoryBytes:  db.tree.MemoryBytes(),
+		GrowthEpoch:      db.tree.GrowthEpoch(),
+		SubtreeEpochs:    db.tree.SubtreeEpochs(),
 	}
 	for i := range db.shards {
 		snap := db.shards[i].load()
-		st.Shards[i] = ShardStats{Sets: len(snap.sets), Dynamic: len(snap.dynamic)}
-		st.Sets += len(snap.sets)
-		st.DynamicSets += len(snap.dynamic)
+		ss := ShardStats{Sets: snap.sets.len(), Dynamic: snap.dynamic.len()}
+		for c := 0; c < numChunks; c++ {
+			keys := snap.sets.chunkLen(c) + snap.dynamic.chunkLen(c)
+			if keys > 0 {
+				ss.OccupiedChunks++
+			}
+			if keys > ss.MaxChunkKeys {
+				ss.MaxChunkKeys = keys
+			}
+		}
+		st.Shards[i] = ss
+		st.Sets += ss.Sets
+		st.DynamicSets += ss.Dynamic
 	}
 	return st
 }

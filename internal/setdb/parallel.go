@@ -39,7 +39,7 @@ func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]ui
 	// versions that apply to the next batch, not halfway through this
 	// one). A missing key errors even for n <= 0, so the batch API
 	// always validates key existence.
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -104,17 +104,29 @@ func (db *DB) sampleManyFilter(f *bloom.Filter, n, workers int, ops *core.Ops) (
 			if ops != nil {
 				wops = &res.ops
 			}
+			// One rng, one output slice and one hash-position scratch
+			// buffer per worker, allocated up front: the draw loop itself
+			// is allocation-free (core.Tree.SampleScratch threads the
+			// buffer through the descent down to the leaf membership
+			// probes), so steady-state sampling costs zero heap
+			// allocations per draw.
+			xs := make([]uint64, 0, quota)
+			scratch := make([]uint64, 0, core.ScratchHint)
 			for i := 0; i < quota; i++ {
-				x, err := db.tree.Sample(f, rng, wops)
+				var x uint64
+				var err error
+				x, scratch, err = db.tree.SampleScratch(f, rng, wops, scratch)
 				if err == core.ErrNoSample {
 					continue // a false-positive path; try the next draw
 				}
 				if err != nil {
+					res.xs = xs
 					res.err = err
 					return
 				}
-				res.xs = append(res.xs, x)
+				xs = append(xs, x)
 			}
+			res.xs = xs
 		}(w, quota, rand.Int63())
 	}
 	wg.Wait()

@@ -91,9 +91,10 @@ var ErrOutOfRange = errors.New("setdb: id outside namespace")
 
 // numShards is the number of key shards the set maps are split across.
 // Writers to different shards never contend; the count is an internal
-// constant (not persisted). It also bounds the copy-on-write cost of a
-// single write — a writer copies only its own shard's key map — so it is
-// sized generously for many-core write-heavy workloads.
+// constant (not persisted). It is sized generously for many-core
+// write-heavy workloads; the copy-on-write cost of a single write is
+// bounded separately by the chunked shard state (see chunked.go), which
+// splits each shard into numChunks chunks and copies only one of them.
 const numShards = 64
 
 // setEntry is one stored plain set: an immutable filter plus the
@@ -110,44 +111,40 @@ type setEntry struct {
 }
 
 // shardState is the immutable snapshot of one shard: readers load it from
-// the shard's atomic pointer and never lock. Both maps (and every filter
-// they reach) are frozen once published; a writer builds the next
-// snapshot by copying the map it modifies and publishes it with a single
-// store. An untouched map is carried over by reference.
+// the shard's atomic pointer and never lock. Both chunked maps (and every
+// filter they reach) are frozen once published; a writer builds the next
+// snapshot by cloning the chunk table and only the chunk it modifies
+// (see chunked.go) and publishes it with a single store. An untouched
+// chunk — and an untouched kind's whole map — is carried over by
+// reference, so the copied volume of one write is O(keys/chunk), not
+// O(keys/shard).
 type shardState struct {
-	sets    map[string]setEntry
-	dynamic map[string]*bloom.CountingFilter
+	sets    chunkedMap[setEntry]
+	dynamic chunkedMap[*bloom.CountingFilter]
 }
 
-// withSet returns a successor snapshot with key bound to e.
-func (st *shardState) withSet(key string, e setEntry) *shardState {
-	next := &shardState{sets: make(map[string]setEntry, len(st.sets)+1), dynamic: st.dynamic}
-	for k, v := range st.sets {
-		next.sets[k] = v
-	}
-	next.sets[key] = e
-	return next
+// withSet returns a successor snapshot with key bound to e, plus the
+// estimated bytes copied building it.
+func (st *shardState) withSet(h uint64, key string, e setEntry) (*shardState, uint64) {
+	sets, copied := st.sets.with(h, key, e)
+	return &shardState{sets: sets, dynamic: st.dynamic}, copied
 }
 
-// withoutSet returns a successor snapshot with key removed.
-func (st *shardState) withoutSet(key string) *shardState {
-	next := &shardState{sets: make(map[string]setEntry, len(st.sets)), dynamic: st.dynamic}
-	for k, v := range st.sets {
-		if k != key {
-			next.sets[k] = v
-		}
+// withoutSet returns a successor snapshot with key removed. When the key
+// is absent it returns the receiver itself with zero copies.
+func (st *shardState) withoutSet(h uint64, key string) (*shardState, uint64, bool) {
+	sets, copied, ok := st.sets.without(h, key)
+	if !ok {
+		return st, 0, false
 	}
-	return next
+	return &shardState{sets: sets, dynamic: st.dynamic}, copied, true
 }
 
-// withDynamic returns a successor snapshot with key bound to c.
-func (st *shardState) withDynamic(key string, c *bloom.CountingFilter) *shardState {
-	next := &shardState{sets: st.sets, dynamic: make(map[string]*bloom.CountingFilter, len(st.dynamic)+1)}
-	for k, v := range st.dynamic {
-		next.dynamic[k] = v
-	}
-	next.dynamic[key] = c
-	return next
+// withDynamic returns a successor snapshot with key bound to c, plus the
+// estimated bytes copied building it.
+func (st *shardState) withDynamic(h uint64, key string, c *bloom.CountingFilter) (*shardState, uint64) {
+	dynamic, copied := st.dynamic.with(h, key, c)
+	return &shardState{sets: st.sets, dynamic: dynamic}, copied
 }
 
 // shard is one slice of the key space: an atomically swapped immutable
@@ -163,20 +160,6 @@ type shard struct {
 // load returns the shard's current snapshot.
 func (s *shard) load() *shardState { return s.state.Load() }
 
-// shardIndex maps a key to its shard with FNV-1a.
-func shardIndex(key string) int {
-	const (
-		offset = 0xcbf29ce484222325
-		prime  = 0x100000001b3
-	)
-	h := uint64(offset)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime
-	}
-	return int(h % numShards)
-}
-
 // DB is a keyed collection of Bloom-filter-encoded sets over one shared
 // namespace and one shared BloomSampleTree.
 //
@@ -187,7 +170,10 @@ func shardIndex(key string) int {
 // not on each other, and not on writers, even under a 100% write mix.
 // Writers are copy-on-write: Add/Delete serialize briefly on their
 // shard's mutex, build the successor snapshot (cloning only the filter
-// and map they change) and publish it with one atomic store; on a pruned
+// they change and the one chunk of the shard's chunked key map holding
+// their key) and publish it with one atomic store; group commit
+// (AddMany/ApplyBatch, see batch.go) folds a whole batch of writes into
+// one publish per touched shard; on a pruned
 // database the shared tree grows through its own lock-free epoch-based
 // path (core.Tree.InsertBatch) before the new filter becomes visible, so
 // a published set is always coverable by the tree.
@@ -200,6 +186,22 @@ type DB struct {
 	tree   *core.Tree
 	gen    atomic.Uint64 // key-lifetime generator for setEntry.gen
 	shards [numShards]shard
+
+	// Write-amplification accounting (see Stats): logical write
+	// operations applied, snapshot publishes performed (fewer than
+	// stateWrites when group commit folds a batch into one publish), and
+	// the estimated bytes copied building successor snapshots.
+	stateWrites    atomic.Uint64
+	statePublishes atomic.Uint64
+	stateBytes     atomic.Uint64
+}
+
+// recordWrites accumulates write-amplification accounting for one
+// publish-side operation.
+func (db *DB) recordWrites(writes, publishes, bytes uint64) {
+	db.stateWrites.Add(writes)
+	db.statePublishes.Add(publishes)
+	db.stateBytes.Add(bytes)
 }
 
 // Open creates an empty database with the given options.
@@ -244,8 +246,25 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// shardOf returns the shard responsible for key.
-func (db *DB) shardOf(key string) *shard { return &db.shards[shardIndex(key)] }
+// shardFor returns the shard responsible for key together with the key's
+// hash, which the chunked shard state reuses for chunk addressing.
+func (db *DB) shardFor(key string) (*shard, uint64) {
+	h := keyHash(key)
+	return &db.shards[h%numShards], h
+}
+
+// getSet is the lock-free read-path lookup of a plain entry: one hash,
+// one atomic snapshot load, one chunk map lookup, zero allocations.
+func (db *DB) getSet(key string) (setEntry, bool) {
+	s, h := db.shardFor(key)
+	return s.load().sets.get(h, key)
+}
+
+// getDynamic is getSet for dynamic entries.
+func (db *DB) getDynamic(key string) (*bloom.CountingFilter, bool) {
+	s, h := db.shardFor(key)
+	return s.load().dynamic.get(h, key)
+}
 
 // Options returns the database's (defaulted) options.
 func (db *DB) Options() Options { return db.opts }
@@ -258,7 +277,7 @@ func (db *DB) Tree() *core.Tree { return db.tree }
 func (db *DB) Len() int {
 	n := 0
 	for i := range db.shards {
-		n += len(db.shards[i].load().sets)
+		n += db.shards[i].load().sets.len()
 	}
 	return n
 }
@@ -267,9 +286,9 @@ func (db *DB) Len() int {
 func (db *DB) Keys() []string {
 	var keys []string
 	for i := range db.shards {
-		for k := range db.shards[i].load().sets {
+		db.shards[i].load().sets.rangeAll(func(k string, _ setEntry) {
 			keys = append(keys, k)
-		}
+		})
 	}
 	sort.Strings(keys)
 	return keys
@@ -306,10 +325,10 @@ func (db *DB) Add(key string, ids ...uint64) error {
 	if err := db.validateIDs(ids); err != nil {
 		return err
 	}
-	s := db.shardOf(key)
+	s, h := db.shardFor(key)
 	// Advisory clash precheck before paying for tree growth; the
 	// authoritative check runs under the shard mutex below.
-	if _, clash := s.load().dynamic[key]; clash {
+	if _, clash := s.load().dynamic.get(h, key); clash {
 		return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, key)
 	}
 	if err := db.growTree(ids); err != nil {
@@ -318,30 +337,34 @@ func (db *DB) Add(key string, ids ...uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.load()
-	if _, clash := cur.dynamic[key]; clash {
+	if _, clash := cur.dynamic.get(h, key); clash {
 		return fmt.Errorf("%w: %q already exists as a dynamic set", ErrKeyClash, key)
 	}
-	e, ok := cur.sets[key]
+	e, ok := cur.sets.get(h, key)
 	if ok {
 		e = setEntry{f: e.f.CloneAdd(ids...), gen: e.gen, ver: e.ver + 1}
 	} else {
 		e = setEntry{f: bloom.NewFromElements(db.fam, ids), gen: db.gen.Add(1)}
 	}
-	s.state.Store(cur.withSet(key, e))
+	next, copied := cur.withSet(h, key, e)
+	s.state.Store(next)
+	db.recordWrites(1, 1, copied)
 	return nil
 }
 
 // Delete removes a stored set. It returns false if the key is absent.
 // (Individual ids cannot be removed from a Bloom filter.)
 func (db *DB) Delete(key string) bool {
-	s := db.shardOf(key)
+	s, h := db.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.load()
-	if _, ok := cur.sets[key]; !ok {
+	next, copied, ok := s.load().withoutSet(h, key)
+	if !ok {
+		// Delete-miss: no clone was built and nothing is published.
 		return false
 	}
-	s.state.Store(cur.withoutSet(key))
+	s.state.Store(next)
+	db.recordWrites(1, 1, copied)
 	return true
 }
 
@@ -349,12 +372,13 @@ func (db *DB) Delete(key string) bool {
 // filter is immutable: an Add to the same key publishes a new version
 // rather than mutating it, so it is always safe to keep reading.
 func (db *DB) Filter(key string) *bloom.Filter {
-	return db.shardOf(key).load().sets[key].f
+	e, _ := db.getSet(key)
+	return e.f
 }
 
 // Contains reports whether id answers positively for the set under key.
 func (db *DB) Contains(key string, id uint64) (bool, error) {
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return false, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -363,7 +387,7 @@ func (db *DB) Contains(key string, id uint64) (bool, error) {
 
 // Sample draws one element from the set under key using BSTSample.
 func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) {
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return 0, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -372,7 +396,7 @@ func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) 
 
 // SampleN draws r elements in a single tree pass (§5.3).
 func (db *DB) SampleN(key string, r int, withReplacement bool, rng *rand.Rand, ops *core.Ops) ([]uint64, error) {
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -413,7 +437,7 @@ var ErrSamplerInvalid = fmt.Errorf("setdb: sampler invalidated: its set was dele
 // returns ErrSamplerInvalid if the sampler's key no longer maps to the
 // key lifetime it was created on.
 func (s *Sampler) Sample(rng *rand.Rand, ops *core.Ops) (uint64, error) {
-	e, ok := s.db.shardOf(s.key).load().sets[s.key]
+	e, ok := s.db.getSet(s.key)
 	if !ok || e.gen != s.gen {
 		return 0, ErrSamplerInvalid
 	}
@@ -459,7 +483,7 @@ func (s *Sampler) Stats() core.UniformStats { return s.u.Stats() }
 // return ErrSamplerInvalid (the key was Deleted, or Deleted and
 // re-Added). Caches of shareable samplers use it to evict dead entries.
 func (s *Sampler) Valid() bool {
-	e, ok := s.db.shardOf(s.key).load().sets[s.key]
+	e, ok := s.db.getSet(s.key)
 	return ok && e.gen == s.gen
 }
 
@@ -476,7 +500,7 @@ func (s *Sampler) MaxAttempts() int { return s.u.MaxAttempts() }
 // self-recalibrating) while other goroutines Add to the database,
 // including to its own key.
 func (db *DB) UniformSampler(key string) (*Sampler, error) {
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -491,7 +515,7 @@ func (db *DB) UniformSampler(key string) (*Sampler, error) {
 
 // Reconstruct returns the set stored under key (§6).
 func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uint64, error) {
-	e, ok := db.shardOf(key).load().sets[key]
+	e, ok := db.getSet(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
@@ -502,8 +526,8 @@ func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uin
 // shard snapshots are loaded independently (no locks, so no ordering
 // concerns); each filter is an immutable point-in-time version.
 func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
-	a, okA := db.shardOf(keyA).load().sets[keyA]
-	b, okB := db.shardOf(keyB).load().sets[keyB]
+	a, okA := db.getSet(keyA)
+	b, okB := db.getSet(keyB)
 	if !okA || !okB {
 		return 0, fmt.Errorf("%w %q or %q", ErrNoSet, keyA, keyB)
 	}
@@ -569,9 +593,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 
 	var keys []string
 	for i := range states {
-		for k := range states[i].sets {
+		states[i].sets.rangeAll(func(k string, _ setEntry) {
 			keys = append(keys, k)
-		}
+		})
 	}
 	sort.Strings(keys)
 	var cnt [4]byte
@@ -583,7 +607,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		if len(k) > 1<<16-1 {
 			return cw.n, fmt.Errorf("setdb: key %.20q... too long", k)
 		}
-		data, err := states[shardIndex(k)].sets[k].f.MarshalBinary()
+		h := keyHash(k)
+		e, _ := states[h%numShards].sets.get(h, k)
+		data, err := e.f.MarshalBinary()
 		if err != nil {
 			return cw.n, err
 		}
@@ -664,9 +690,9 @@ func parse(r io.Reader) (*DB, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(cnt[:])
-	// Accumulate per-shard maps and publish each snapshot once, so the
-	// load is O(keys), not O(keys × shard size).
-	var sets [numShards]map[string]setEntry
+	// Accumulate per-shard builders and publish each snapshot once, so
+	// the load is O(keys), not O(keys × shard size).
+	var sets [numShards]*chunkBuilder[setEntry]
 	for i := uint32(0); i < count; i++ {
 		var kl [2]byte
 		if _, err := io.ReadFull(br, kl[:]); err != nil {
@@ -692,15 +718,16 @@ func parse(r io.Reader) (*DB, error) {
 			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
 		}
 		k := string(key)
-		si := shardIndex(k)
+		h := keyHash(k)
+		si := int(h % numShards)
 		if sets[si] == nil {
-			sets[si] = map[string]setEntry{}
+			sets[si] = newChunkBuilder(chunkedMap[setEntry]{})
 		}
-		sets[si][k] = setEntry{f: f, gen: db.gen.Add(1)}
+		sets[si].set(h, k, setEntry{f: f, gen: db.gen.Add(1)})
 	}
 	for i := range db.shards {
 		if sets[i] != nil {
-			db.shards[i].state.Store(&shardState{sets: sets[i]})
+			db.shards[i].state.Store(&shardState{sets: sets[i].freeze()})
 		}
 	}
 	return db, nil
