@@ -37,7 +37,7 @@
 // Quick start:
 //
 //	plan, _ := bloomsample.Plan(0.9, 1000, 1_000_000, 3)        // accuracy, |set|, |namespace|, k
-//	tree, _ := bloomsample.NewTree(plan, bloomsample.Murmur3, 42)
+//	tree, _ := bloomsample.NewTree(plan, bloomsample.Fast, 42)
 //	q := tree.NewQueryFilter()
 //	q.Add(123); q.Add(456)                                       // store a set
 //	x, _ := tree.Sample(q, rng, nil)                             // draw a sample
@@ -90,10 +90,14 @@ const (
 // HashKind identifies a hash-function family.
 type HashKind = hashfam.Kind
 
-// Available hash families. Simple is weakly invertible (required by
-// HashInvert); Murmur3 is the recommended default; MD5 is slow and present
-// for parity with the paper's evaluation; FNV is a fast extra.
+// Available hash families. Fast — one 128-bit multiply-fold mix per key,
+// split into k positions by double hashing — is the recommended default
+// and what every layer defaults to; Simple is weakly invertible (required
+// by HashInvert); Murmur3 is the previous default, kept byte-compatible;
+// MD5 is slow and present for parity with the paper's evaluation; FNV is
+// a cheap extra.
 const (
+	Fast    = hashfam.KindFast
 	Simple  = hashfam.KindSimple
 	Murmur3 = hashfam.KindMurmur3
 	MD5     = hashfam.KindMD5

@@ -7,6 +7,7 @@
 //	bstbench -exp tab5 -csv out/    # also write CSV files
 //	bstbench -exp concurrency       # sampled-per-second vs goroutine count
 //	bstbench -exp serving -json BENCH_serving.json   # HTTP serving-layer load test
+//	bstbench -exp hash -json BENCH_hash.json         # hash family × k × batch sweep
 //	bstbench -list                  # show available experiment ids
 //
 // Experiment ids follow the paper: fig3..fig15 are Figures 3–15, tab2..
@@ -40,7 +41,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "file to write all results into as machine-readable JSON (e.g. BENCH_concurrency.json)")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		rounds    = flag.Int("rounds", 0, "override sampling rounds per cell")
-		hash      = flag.String("hash", "", "override hash family (simple|murmur3|md5|fnv)")
+		hash      = flag.String("hash", "", "override hash family (fast|simple|murmur3|md5|fnv)")
 		twScale   = flag.Int("twitter-scale", 0, "override Twitter-crawl scale divisor")
 		writeFrac = flag.Float64("writefrac", 0, "write fraction for the concurrency/serving experiments' read/write mix (0..1)")
 	)
@@ -113,8 +114,13 @@ func main() {
 			})
 		}
 		// One-line human summary where an experiment defines one (the
-		// writeamp sweep), so the headline is checkable without tooling.
+		// writeamp and hash sweeps), so the headline is checkable without
+		// tooling.
 		if line, ok := experiments.WriteAmpSummary(tables); ok {
+			fmt.Println(line)
+			fmt.Println()
+		}
+		if line, ok := experiments.HashSummary(tables); ok {
 			fmt.Println(line)
 			fmt.Println()
 		}

@@ -70,6 +70,30 @@ func (s *Set) check(i uint64) {
 	}
 }
 
+// TestAll reports whether every position in positions is set. It is the
+// word-sliced form of k scattered Test calls: runs of positions that land
+// in the same word (the slice is probed in order, so callers producing
+// sorted or arithmetic-progression positions benefit most) are merged
+// into one mask and checked with a single load, and the probe
+// short-circuits on the first word that misses. An empty slice reports
+// true. It panics if any examined position is out of range.
+func (s *Set) TestAll(positions []uint64) bool {
+	for i := 0; i < len(positions); {
+		p := positions[i]
+		s.check(p)
+		wi := p / wordBits
+		mask := uint64(1) << (p % wordBits)
+		for i++; i < len(positions) && positions[i]/wordBits == wi; i++ {
+			s.check(positions[i])
+			mask |= 1 << (positions[i] % wordBits)
+		}
+		if s.words[wi]&mask != mask {
+			return false
+		}
+	}
+	return true
+}
+
 // Count returns the number of bits set to 1.
 func (s *Set) Count() uint64 {
 	var c uint64

@@ -493,3 +493,67 @@ func TestAndOrExactAllocation(t *testing.T) {
 		t.Fatalf("OR wrong: %v", or)
 	}
 }
+
+func TestTestAll(t *testing.T) {
+	s := New(256)
+	for _, i := range []uint64{0, 1, 63, 64, 65, 200, 255} {
+		s.Set(i)
+	}
+	cases := []struct {
+		positions []uint64
+		want      bool
+	}{
+		{nil, true},
+		{[]uint64{0}, true},
+		{[]uint64{0, 1, 63}, true},      // one word, merged mask
+		{[]uint64{63, 64, 65}, true},    // word boundary crossing
+		{[]uint64{0, 200, 255}, true},   // scattered words
+		{[]uint64{0, 0, 1, 1}, true},    // duplicates
+		{[]uint64{2}, false},            // single miss
+		{[]uint64{0, 1, 2}, false},      // miss merged into a hit word
+		{[]uint64{0, 66, 200}, false},   // miss in a later word
+		{[]uint64{255, 254}, false},     // hit then miss, same word
+		{[]uint64{200, 0, 64, 1}, true}, // unsorted hits
+	}
+	for _, c := range cases {
+		if got := s.TestAll(c.positions); got != c.want {
+			t.Fatalf("TestAll(%v) = %v, want %v", c.positions, got, c.want)
+		}
+	}
+}
+
+// TestAll must agree with k individual Test calls on random inputs.
+func TestTestAllMatchesTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(1000)
+	for i := 0; i < 300; i++ {
+		s.Set(rng.Uint64() % 1000)
+	}
+	pos := make([]uint64, 5)
+	for trial := 0; trial < 2000; trial++ {
+		for i := range pos {
+			pos[i] = rng.Uint64() % 1000
+		}
+		want := true
+		for _, p := range pos {
+			if !s.Test(p) {
+				want = false
+				break
+			}
+		}
+		if got := s.TestAll(pos); got != want {
+			t.Fatalf("TestAll(%v) = %v, Test-loop = %v", pos, got, want)
+		}
+	}
+}
+
+func TestTestAllOutOfRangePanics(t *testing.T) {
+	s := New(100)
+	s.Set(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range position not detected")
+		}
+	}()
+	s.TestAll([]uint64{5, 100})
+}

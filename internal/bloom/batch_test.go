@@ -1,0 +1,110 @@
+package bloom
+
+import (
+	"testing"
+
+	"repro/internal/hashfam"
+)
+
+// ContainsBatch must agree with Contains for every family, and AddMany
+// with element-wise Add.
+func TestBatchMatchesSingle(t *testing.T) {
+	for _, kind := range hashfam.Kinds() {
+		fam := hashfam.MustNew(kind, 2048, 4, 9)
+		xs := make([]uint64, 150)
+		for i := range xs {
+			xs[i] = uint64(i * 37)
+		}
+		batched := NewFromElements(fam, xs[:100])
+		single := New(fam)
+		for _, x := range xs[:100] {
+			single.Add(x)
+		}
+		if !batched.Equal(single) {
+			t.Fatalf("%s: AddMany filter differs from Add filter", kind)
+		}
+		if batched.Insertions() != 100 {
+			t.Fatalf("%s: Insertions = %d, want 100", kind, batched.Insertions())
+		}
+
+		out := make([]bool, len(xs))
+		scratch := batched.ContainsBatch(xs, out, nil)
+		if len(scratch) != len(xs)*4 {
+			t.Fatalf("%s: scratch has %d positions, want %d", kind, len(scratch), len(xs)*4)
+		}
+		for i, x := range xs {
+			if out[i] != batched.Contains(x) {
+				t.Fatalf("%s: ContainsBatch[%d] = %v, Contains(%d) = %v", kind, i, out[i], x, batched.Contains(x))
+			}
+		}
+		for _, x := range xs[:100] {
+			if !batched.Contains(x) {
+				t.Fatalf("%s: false negative for %d", kind, x)
+			}
+		}
+	}
+}
+
+// TestContainsBatchSteadyStateZeroAllocs pins the batched probe path —
+// one PositionsMany call plus word-sliced TestAll per key — at zero heap
+// allocations once the caller threads the scratch buffer back in. This
+// is the inner loop of every leaf scan, so a regression taxes all
+// sampling and reconstruction.
+func TestContainsBatchSteadyStateZeroAllocs(t *testing.T) {
+	fam := hashfam.MustNew(hashfam.DefaultKind, 4096, 5, 3)
+	f := New(fam)
+	xs := make([]uint64, 64)
+	for i := range xs {
+		xs[i] = uint64(i * 13)
+		f.Add(xs[i])
+	}
+	out := make([]bool, len(xs))
+	scratch := make([]uint64, 0, len(xs)*5)
+	scratch = f.ContainsBatch(xs, out, scratch) // warm up
+	allocs := testing.AllocsPerRun(500, func() {
+		scratch = f.ContainsBatch(xs, out, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ContainsBatch allocates %v per call, want 0", allocs)
+	}
+}
+
+// The single-probe pooled path must also stay allocation-free with the
+// word-sliced TestAll underneath.
+func TestContainsSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector; the pooled path cannot be alloc-pinned")
+	}
+	fam := hashfam.MustNew(hashfam.DefaultKind, 4096, 5, 3)
+	f := New(fam)
+	for i := uint64(0); i < 64; i++ {
+		f.Add(i * 13)
+	}
+	f.Contains(9) // warm the pool
+	allocs := testing.AllocsPerRun(500, func() {
+		f.Contains(9)
+		f.Contains(13 * 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Contains allocates %v per call, want 0", allocs)
+	}
+}
+
+// Oversized position buffers must not be recycled: a one-off probe with a
+// pathological k must not pin a huge buffer in the shared pool.
+func TestPositionPoolDropsOversized(t *testing.T) {
+	if poolablePositions(maxPooledPositions) != true {
+		t.Fatal("cap == maxPooledPositions should be poolable")
+	}
+	if poolablePositions(maxPooledPositions + 1) {
+		t.Fatal("cap > maxPooledPositions should be dropped")
+	}
+	// End-to-end: a probe with k > maxPooledPositions must work and must
+	// not panic the pool plumbing.
+	fam := hashfam.MustNew(hashfam.KindFast, 1<<20, maxPooledPositions+8, 1)
+	f := New(fam)
+	f.Add(77)
+	if !f.Contains(77) {
+		t.Fatal("false negative after oversized-k add")
+	}
+}

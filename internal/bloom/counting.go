@@ -108,8 +108,15 @@ func (c *CountingFilter) Remove(x uint64) error {
 }
 
 // Contains reports whether x is a (possibly false) positive. Contains is
-// read-only and safe for unsynchronized concurrent callers.
+// read-only and safe for unsynchronized concurrent callers. When the
+// plain-filter projection is already memoized (any published filter that
+// has served one Snapshot call), the probe runs through its word-sliced
+// bit vector instead of k scattered counter loads; the projection is
+// invalidated on every mutation, so the two paths always agree.
 func (c *CountingFilter) Contains(x uint64) bool {
+	if f := c.snap.Load(); f != nil {
+		return f.Contains(x)
+	}
 	bp, pos := getPositions(c.fam, x)
 	ok := true
 	for _, p := range pos {

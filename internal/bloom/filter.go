@@ -47,9 +47,24 @@ func getPositions(fam hashfam.Family, x uint64) (*[]uint64, []uint64) {
 	return bp, pos
 }
 
+// maxPooledPositions caps the capacity of buffers returned to posBuf.
+// The pool's buffers live for the life of the process, so one probe
+// against a pathological high-k family (or a batched hash burst) must
+// not pin an arbitrarily large buffer in steady-state memory: oversized
+// buffers are dropped for the GC instead of recycled.
+const maxPooledPositions = 256
+
+// poolablePositions reports whether a buffer of the given capacity may
+// be returned to the pool.
+func poolablePositions(c int) bool { return c <= maxPooledPositions }
+
 // putPositions recycles a buffer obtained from getPositions, keeping any
-// growth append may have performed.
+// growth append may have performed; buffers grown past
+// maxPooledPositions are dropped rather than pinned.
 func putPositions(bp *[]uint64, pos []uint64) {
+	if !poolablePositions(cap(pos)) {
+		return
+	}
 	*bp = pos[:0]
 	posBuf.Put(bp)
 }
@@ -63,13 +78,11 @@ func New(fam hashfam.Family) *Filter {
 	}
 }
 
-// NewFromElements builds a filter containing every element of xs.
+// NewFromElements builds a filter containing every element of xs, using
+// the family's batched hash path.
 func NewFromElements(fam hashfam.Family, xs []uint64) *Filter {
 	f := New(fam)
-	var buf []uint64
-	for _, x := range xs {
-		buf = f.AddScratch(x, buf)
-	}
+	f.AddMany(xs)
 	return f
 }
 
@@ -115,16 +128,12 @@ func (f *Filter) AddScratch(x uint64, buf []uint64) []uint64 {
 
 // Contains reports whether x is a (possibly false) positive of the filter.
 // A Bloom filter never yields false negatives. Contains is read-only and
-// safe for unsynchronized concurrent callers.
+// safe for unsynchronized concurrent callers. The k probes run through
+// the bit vector's word-sliced TestAll, which merges same-word probes
+// and short-circuits on the first missing word.
 func (f *Filter) Contains(x uint64) bool {
 	bp, pos := getPositions(f.fam, x)
-	ok := true
-	for _, p := range pos {
-		if !f.bits.Test(p) {
-			ok = false
-			break
-		}
-	}
+	ok := f.bits.TestAll(pos)
 	putPositions(bp, pos)
 	return ok
 }
@@ -138,13 +147,51 @@ func (f *Filter) Contains(x uint64) bool {
 // concurrent callers as long as each owns its buf.
 func (f *Filter) ContainsScratch(x uint64, buf []uint64) (bool, []uint64) {
 	buf = f.fam.Positions(x, buf[:0])
-	for _, p := range buf {
-		if !f.bits.Test(p) {
-			return false, buf
-		}
-	}
-	return true, buf
+	return f.bits.TestAll(buf), buf
 }
+
+// ContainsBatch probes every element of xs against the filter, writing
+// the verdict for xs[i] into out[i] (out must be at least len(xs) long).
+// All keys are hashed in one batched PositionsMany call into scratch and
+// each k-group is then checked with the word-sliced TestAll, so the
+// per-key cost is one inlined hash plus the short-circuiting probe — no
+// interface dispatch, no pool round trips. The possibly grown scratch is
+// returned for the next call; a loop that threads it back in allocates
+// nothing. Safe for concurrent callers as long as each owns out and
+// scratch.
+func (f *Filter) ContainsBatch(xs []uint64, out []bool, scratch []uint64) []uint64 {
+	k := f.fam.K()
+	scratch = hashfam.PositionsMany(f.fam, xs, scratch[:0])
+	for i := range xs {
+		out[i] = f.bits.TestAll(scratch[i*k : (i+1)*k])
+	}
+	return scratch
+}
+
+// AddMany inserts every element of xs, hashing the whole batch through
+// the family's batched path in bounded blocks (one scratch allocation
+// sized to the first block, however long xs is). Like Add it mutates the
+// filter and requires external synchronization.
+func (f *Filter) AddMany(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	k := f.fam.K()
+	scratch := make([]uint64, 0, min(len(xs), addBlock)*k)
+	for len(xs) > 0 {
+		n := min(len(xs), addBlock)
+		scratch = hashfam.PositionsMany(f.fam, xs[:n], scratch[:0])
+		for _, p := range scratch {
+			f.bits.Set(p)
+		}
+		f.n += uint64(n)
+		xs = xs[n:]
+	}
+}
+
+// addBlock bounds the number of keys AddMany hashes per block, so the
+// batched scratch stays a few KB however large the batch is.
+const addBlock = 64
 
 // SetBits returns the number of 1 bits (t in the paper's estimators).
 func (f *Filter) SetBits() uint64 { return f.bits.Count() }
@@ -182,13 +229,8 @@ func (f *Filter) CloneAdd(ids ...uint64) *Filter {
 	n := f.n
 	for _, x := range ids {
 		pos = f.fam.Positions(x, pos[:0])
-		if bits == nil {
-			for _, p := range pos {
-				if !f.bits.Test(p) {
-					bits = f.bits.Clone()
-					break
-				}
-			}
+		if bits == nil && !f.bits.TestAll(pos) {
+			bits = f.bits.Clone()
 		}
 		if bits != nil {
 			for _, p := range pos {

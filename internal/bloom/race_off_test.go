@@ -1,0 +1,5 @@
+//go:build !race
+
+package bloom
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bloom
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (sync.Pool deliberately drops puts under it, which breaks
+// allocation-count pinning of pooled paths).
+const raceEnabled = true

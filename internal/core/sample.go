@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bloom"
+	"repro/internal/hashfam"
 )
 
 // ErrNoSample is returned by Sample when the search exhausts the tree
@@ -116,52 +117,95 @@ func (t *Tree) childEstimate(child *node, q *bloom.Filter, ops *Ops) float64 {
 
 // sampleLeaf brute-force checks the leaf's range against q and picks one
 // positive uniformly at random (reservoir over the range, so no
-// allocation beyond the caller's scratch buffer).
+// allocation beyond the caller's scratch buffer). The range is probed in
+// blocks of leafProbeBatch: each block's keys are hashed with one
+// PositionsMany call through the family's batched path and every k-group
+// is then checked against the query's word-sliced bit vector, so the
+// per-element cost is one inlined hash plus a short-circuiting probe.
+// Both the key block and the position block are carved out of the
+// threaded scratch buffer — stack arrays would escape through the
+// interface call and break the zero-allocation contract of steady-state
+// sampling loops.
 func (t *Tree) sampleLeaf(n *node, q *bloom.Filter, rng *rand.Rand, ops *Ops, scratch []uint64) (uint64, bool, []uint64) {
 	if ops != nil {
 		ops.LeavesScanned++
 		ops.Memberships += n.hi - n.lo
 	}
+	fam := q.Family()
+	bits := q.Bits()
+	k := fam.K()
+	need := leafProbeBatch * (k + 1)
+	if cap(scratch) < need {
+		scratch = make([]uint64, 0, need)
+	}
+	buf := scratch[:need]
+	xs := buf[:leafProbeBatch]
 	var chosen uint64
 	count := 0
-	for x := n.lo; x < n.hi; x++ {
-		var hit bool
-		hit, scratch = q.ContainsScratch(x, scratch)
-		if hit {
-			count++
-			if rng.Intn(count) == 0 {
-				chosen = x
+	for lo := n.lo; lo < n.hi; lo += leafProbeBatch {
+		m := int(min(uint64(leafProbeBatch), n.hi-lo))
+		for i := 0; i < m; i++ {
+			xs[i] = lo + uint64(i)
+		}
+		pos := hashfam.PositionsMany(fam, xs[:m], buf[leafProbeBatch:leafProbeBatch])
+		for i := 0; i < m; i++ {
+			if bits.TestAll(pos[i*k : (i+1)*k]) {
+				count++
+				if rng.Intn(count) == 0 {
+					chosen = xs[i]
+				}
 			}
 		}
 	}
-	return chosen, count > 0, scratch
+	return chosen, count > 0, buf[:0]
 }
 
-// maxScratchK sizes the initial hash-position scratch for descents and
+// leafProbeBatch is the number of leaf elements hashed per PositionsMany
+// call during leaf scans; it bounds the scratch carve-out at
+// leafProbeBatch*(k+1) words.
+const leafProbeBatch = 64
+
+// maxScratchK sizes the per-key hash-position scratch for descents and
 // leaf scans; families with more hash functions than this just grow the
 // buffer once per scan.
 const maxScratchK = 16
 
 // ScratchHint is the recommended initial capacity for the scratch buffer
-// threaded through SampleScratch: large enough for every shipped hash
-// family, so steady-state sampling loops never grow it.
-const ScratchHint = maxScratchK
+// threaded through SampleScratch: one full leaf probe block (keys plus k
+// positions per key) for every shipped hash family, so steady-state
+// sampling loops never grow it.
+const ScratchHint = leafProbeBatch * (maxScratchK + 1)
 
 // positivesInLeaf collects every element of the leaf range answering
-// positively, appending to out.
-func (t *Tree) positivesInLeaf(n *node, q *bloom.Filter, ops *Ops, out []uint64) []uint64 {
+// positively, appending to out. It runs the same batched block probe as
+// sampleLeaf, carving key and position blocks from scratch (allocating a
+// fresh buffer when the one passed in is too small) and returning the
+// possibly grown buffer for the next leaf.
+func (t *Tree) positivesInLeaf(n *node, q *bloom.Filter, ops *Ops, out, scratch []uint64) ([]uint64, []uint64) {
 	if ops != nil {
 		ops.LeavesScanned++
 		ops.Memberships += n.hi - n.lo
 	}
-	var buf [maxScratchK]uint64
-	scratch := buf[:0]
-	for x := n.lo; x < n.hi; x++ {
-		var hit bool
-		hit, scratch = q.ContainsScratch(x, scratch)
-		if hit {
-			out = append(out, x)
+	fam := q.Family()
+	bits := q.Bits()
+	k := fam.K()
+	need := leafProbeBatch * (k + 1)
+	if cap(scratch) < need {
+		scratch = make([]uint64, 0, need)
+	}
+	buf := scratch[:need]
+	xs := buf[:leafProbeBatch]
+	for lo := n.lo; lo < n.hi; lo += leafProbeBatch {
+		m := int(min(uint64(leafProbeBatch), n.hi-lo))
+		for i := 0; i < m; i++ {
+			xs[i] = lo + uint64(i)
+		}
+		pos := hashfam.PositionsMany(fam, xs[:m], buf[leafProbeBatch:leafProbeBatch])
+		for i := 0; i < m; i++ {
+			if bits.TestAll(pos[i*k : (i+1)*k]) {
+				out = append(out, xs[i])
+			}
 		}
 	}
-	return out
+	return out, buf[:0]
 }

@@ -70,7 +70,7 @@ func (c *Config) validate() error {
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.HashKind == "" {
-		out.HashKind = hashfam.KindMurmur3
+		out.HashKind = hashfam.DefaultKind
 	}
 	if out.EmptyThreshold == 0 {
 		out.EmptyThreshold = DefaultEmptyThreshold

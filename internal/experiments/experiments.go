@@ -23,8 +23,9 @@ type Config struct {
 	// Seed makes every experiment deterministic.
 	Seed uint64
 	// HashKind is the hash family (the paper's default is the simple
-	// family for most experiments; Murmur3 behaves equivalently and is
-	// the package default).
+	// family for most experiments; the package default is the fast
+	// multiply-fold family, which behaves equivalently and hashes
+	// cheapest — the fig7/hash sweeps compare all of them).
 	HashKind hashfam.Kind
 	// K is the number of hash functions (paper: 3).
 	K int
@@ -62,7 +63,7 @@ type Config struct {
 func SmallConfig() Config {
 	return Config{
 		Seed:              1,
-		HashKind:          hashfam.KindMurmur3,
+		HashKind:          hashfam.DefaultKind,
 		K:                 3,
 		Rounds:            300,
 		BaselineRounds:    3,
@@ -82,7 +83,7 @@ func SmallConfig() Config {
 func PaperConfig() Config {
 	return Config{
 		Seed:              1,
-		HashKind:          hashfam.KindMurmur3,
+		HashKind:          hashfam.DefaultKind,
 		K:                 3,
 		Rounds:            10_000,
 		BaselineRounds:    10,
@@ -207,6 +208,7 @@ func Registry() map[string]Runner {
 		"concurrency":     RunConcurrency,
 		"serving":         RunServing,
 		"writeamp":        RunWriteAmp,
+		"hash":            RunHash,
 	}
 }
 
@@ -219,7 +221,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency", "serving", "writeamp",
+		"concurrency", "serving", "writeamp", "hash",
 	}
 }
 

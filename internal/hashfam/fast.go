@@ -1,0 +1,78 @@
+package hashfam
+
+import "math/bits"
+
+// The fast family: one 128-bit multiply-fold mix per key, split into k
+// indices via enhanced double hashing. This is the hardware-friendly
+// default the hot probe path runs on — every membership probe during
+// sampling descent, reconstruction and intersection estimation bottoms
+// out in Positions, so its cost multiplies through the whole system.
+//
+// The mix is wyhash/xxh3-style: the key's 8-byte little-endian encoding
+// is folded through two 64×64→128-bit multiplies (bits.Mul64 compiles to
+// a single MUL on amd64/arm64), XOR-folding each product's halves. Unlike
+// the MurmurHash3 family it never materializes a byte buffer and has no
+// per-call tail/finalizer branching: a fixed-width key takes the fixed
+// fast path unconditionally. Unlike MD5 (kept as an opt-in compatibility
+// kind for the paper's Figure 7 comparison) it is a few nanoseconds, not
+// a cryptographic digest.
+
+// Multiply-fold constants, from wyhash's default secret (64-bit primes
+// with balanced bit patterns).
+const (
+	fastP0 = 0xa0761d6478bd642f
+	fastP1 = 0xe7037ed1a0b428db
+	fastP2 = 0x8ebc6af09c88c6e3
+	fastP3 = 0x589965cc75374cc3
+)
+
+// Mix128 mixes a 64-bit key and seed into a 128-bit result via two
+// multiply-folds. The second fold consumes the first's output, so the two
+// halves are not independent affine images of x — exactly what enhanced
+// double hashing needs from its (h1, h2) pair. Exported so reference
+// vectors and the uniformity tests can pin the mapping.
+func Mix128(x, seed uint64) (h1, h2 uint64) {
+	hi, lo := bits.Mul64(x^fastP1, seed^fastP0)
+	h1 = hi ^ lo
+	hi, lo = bits.Mul64(h1^fastP2, x^seed^fastP3)
+	h2 = hi ^ lo
+	return h1, h2
+}
+
+// fastFamily derives k Bloom-filter positions from one Mix128 call per
+// key via double hashing.
+type fastFamily struct {
+	m    uint64
+	k    int
+	seed uint64
+}
+
+func newFast(m uint64, k int, seed uint64) *fastFamily {
+	return &fastFamily{m: m, k: k, seed: seed}
+}
+
+func (f *fastFamily) Kind() Kind   { return KindFast }
+func (f *fastFamily) K() int       { return f.k }
+func (f *fastFamily) M() uint64    { return f.m }
+func (f *fastFamily) Seed() uint64 { return f.seed }
+
+func (f *fastFamily) Positions(x uint64, out []uint64) []uint64 {
+	h1, h2 := Mix128(x, f.seed)
+	return doublePositions(h1, h2, f.m, f.k, out)
+}
+
+// PositionsMany hashes every key of xs in one call, appending k positions
+// per key. The per-key cost is one inlined Mix128 plus the double-hashing
+// split — no interface dispatch, no buffer setup — so bulk probe loops
+// (leaf scans, batch ingest) amortize all per-call overhead across the
+// batch.
+func (f *fastFamily) PositionsMany(xs []uint64, out []uint64) []uint64 {
+	m, k, seed := f.m, f.k, f.seed
+	for _, x := range xs {
+		h1, h2 := Mix128(x, seed)
+		out = doublePositions(h1, h2, m, k, out)
+	}
+	return out
+}
+
+var _ BatchFamily = (*fastFamily)(nil)

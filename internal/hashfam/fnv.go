@@ -40,3 +40,17 @@ func (f *fnvFamily) Positions(x uint64, out []uint64) []uint64 {
 	h2 := fnv1a64(x ^ splitmix64(f.seed))
 	return doublePositions(h1, h2, f.m, f.k, out)
 }
+
+// PositionsMany hashes every key of xs in one call, hoisting the
+// seed-perturbation splitmix64 out of the per-key loop.
+func (f *fnvFamily) PositionsMany(xs []uint64, out []uint64) []uint64 {
+	seed2 := splitmix64(f.seed)
+	for _, x := range xs {
+		h1 := fnv1a64(x ^ f.seed)
+		h2 := fnv1a64(x ^ seed2)
+		out = doublePositions(h1, h2, f.m, f.k, out)
+	}
+	return out
+}
+
+var _ BatchFamily = (*fnvFamily)(nil)

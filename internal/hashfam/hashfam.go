@@ -1,8 +1,12 @@
 // Package hashfam implements the families of Bloom-filter hash functions
 // the paper evaluates (§7.1): the "Simple" affine family (a·x+b) mod m,
 // which is weakly invertible; MurmurHash3 (implemented from scratch, x64
-// 128-bit variant); and MD5 (via crypto/md5). An FNV-1a family is included
-// as an extra fast option.
+// 128-bit variant); and MD5 (via crypto/md5, kept as an opt-in
+// compatibility kind). Two extra hardware-friendly families are provided:
+// KindFast (the default — one 128-bit multiply-fold mix per key, see
+// fast.go) and FNV-1a. Families implementing BatchFamily additionally
+// expose a batched PositionsMany path that amortizes per-key setup across
+// bulk probe loops.
 //
 // A Family maps a namespace element x (a uint64) to k positions in
 // [0, m). Families are deterministic given (kind, m, k, seed), so that a
@@ -19,14 +23,22 @@ type Kind string
 
 // Supported family kinds.
 const (
+	KindFast    Kind = "fast"    // 128-bit multiply-fold mix + double hashing (default)
 	KindSimple  Kind = "simple"  // (a·x + b) mod m, weakly invertible
 	KindMurmur3 Kind = "murmur3" // MurmurHash3 x64_128 + double hashing
-	KindMD5     Kind = "md5"     // crypto/md5 + double hashing
+	KindMD5     Kind = "md5"     // crypto/md5 + double hashing (compatibility only)
 	KindFNV     Kind = "fnv"     // FNV-1a 64 + double hashing
 )
 
+// DefaultKind is the family every layer that picks a default uses: the
+// fast multiply-fold family. KindMD5 — the paper's deliberately expensive
+// comparison point — and the others remain constructible for
+// compatibility (persisted databases embed their kind) and for the
+// Figure 7 family sweep, but nothing defaults to them.
+const DefaultKind = KindFast
+
 // Kinds lists every supported family kind.
-func Kinds() []Kind { return []Kind{KindSimple, KindMurmur3, KindMD5, KindFNV} }
+func Kinds() []Kind { return []Kind{KindFast, KindSimple, KindMurmur3, KindMD5, KindFNV} }
 
 // Family is a set of k hash functions h_1..h_k, each mapping namespace
 // elements to bit positions in [0, m).
@@ -42,6 +54,32 @@ type Family interface {
 	// Positions appends the k positions h_1(x)..h_k(x) to out and returns
 	// the extended slice. Positions(x, nil) allocates.
 	Positions(x uint64, out []uint64) []uint64
+}
+
+// BatchFamily is implemented by families with a batched positions path.
+// PositionsMany is semantically equivalent to calling Positions on each
+// element of xs in order, but amortizes per-key setup (interface
+// dispatch, digest buffers) across the batch. Use the package-level
+// PositionsMany helper to get the fallback loop for families without a
+// native implementation.
+type BatchFamily interface {
+	Family
+	// PositionsMany appends, for each x in xs in order, the k positions
+	// h_1(x)..h_k(x) to out and returns the extended slice (k·len(xs)
+	// appended positions in total).
+	PositionsMany(xs []uint64, out []uint64) []uint64
+}
+
+// PositionsMany hashes every key of xs with f, appending k positions per
+// key to out, using the family's native batched path when it has one.
+func PositionsMany(f Family, xs []uint64, out []uint64) []uint64 {
+	if bf, ok := f.(BatchFamily); ok {
+		return bf.PositionsMany(xs, out)
+	}
+	for _, x := range xs {
+		out = f.Positions(x, out)
+	}
+	return out
 }
 
 // Invertible is implemented by families whose functions are weakly
@@ -66,6 +104,8 @@ func New(kind Kind, m uint64, k int, seed uint64) (Family, error) {
 		return nil, fmt.Errorf("hashfam: k = %d, need k >= 1", k)
 	}
 	switch kind {
+	case KindFast:
+		return newFast(m, k, seed), nil
 	case KindSimple:
 		return newSimple(m, k, seed), nil
 	case KindMurmur3:

@@ -10,7 +10,9 @@ import (
 // hashing over the first two 64-bit words of the digest. MD5 is the
 // deliberately expensive family in the paper's Figure 7 comparison; its
 // cryptographic weakness is irrelevant here — it is used purely as a
-// (slow, well-mixed) hash.
+// (slow, well-mixed) hash. It is an opt-in compatibility kind: nothing
+// defaults to it (see DefaultKind), it exists for the family sweep and
+// for reading databases persisted with it.
 type md5Family struct {
 	m    uint64
 	k    int

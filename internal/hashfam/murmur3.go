@@ -145,3 +145,18 @@ func (f *murmur3Family) Positions(x uint64, out []uint64) []uint64 {
 	h1, h2 := Sum128(buf[:], uint32(f.seed))
 	return doublePositions(h1, h2, f.m, f.k, out)
 }
+
+// PositionsMany hashes every key of xs in one call, reusing one digest
+// buffer across the batch.
+func (f *murmur3Family) PositionsMany(xs []uint64, out []uint64) []uint64 {
+	var buf [8]byte
+	seed := uint32(f.seed)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h1, h2 := Sum128(buf[:], seed)
+		out = doublePositions(h1, h2, f.m, f.k, out)
+	}
+	return out
+}
+
+var _ BatchFamily = (*murmur3Family)(nil)

@@ -721,9 +721,13 @@ type DBStats struct {
 	// copies one chunk of its shard's chunked key map (plus the chunk
 	// table), so mean_bytes_copied_per_write is the live amplification
 	// figure, and occupied_chunks/max_chunk_keys show how evenly the
-	// copy units are loaded. state_publishes < state_writes means group
-	// commit (batch /v1/add) is coalescing writes into shared publishes.
-	ChunksPerShard          int     `json:"chunks_per_shard"`
+	// copy units are loaded. Chunk tables are adaptive — each shard map
+	// grows from 1 chunk toward max_chunks_per_shard with occupancy — so
+	// total_chunks tracks how far the layout has fanned out.
+	// state_publishes < state_writes means group commit (batch /v1/add)
+	// is coalescing writes into shared publishes.
+	MaxChunksPerShard       int     `json:"max_chunks_per_shard"`
+	TotalChunks             int     `json:"total_chunks"`
 	OccupiedChunks          int     `json:"occupied_chunks"`
 	MaxChunkKeys            int     `json:"max_chunk_keys"`
 	StateWrites             uint64  `json:"state_writes"`
@@ -779,7 +783,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			Sets:                    st.Sets,
 			DynamicSets:             st.DynamicSets,
 			Shards:                  len(st.Shards),
-			ChunksPerShard:          st.ChunksPerShard,
+			MaxChunksPerShard:       st.MaxChunksPerShard,
+			TotalChunks:             st.TotalChunks,
 			StateWrites:             st.StateWrites,
 			StatePublishes:          st.StatePublishes,
 			StateBytesCopied:        st.StateBytesCopied,

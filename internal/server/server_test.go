@@ -588,7 +588,7 @@ func TestStatsWriteAmplification(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.DB.ChunksPerShard == 0 || st.DB.OccupiedChunks == 0 || st.DB.MaxChunkKeys == 0 {
+	if st.DB.MaxChunksPerShard == 0 || st.DB.TotalChunks == 0 || st.DB.OccupiedChunks == 0 || st.DB.MaxChunkKeys == 0 {
 		t.Fatalf("chunk occupancy not exposed: %+v", st.DB)
 	}
 	if st.DB.StateWrites == 0 || st.DB.StateBytesCopied == 0 || st.DB.MeanBytesCopiedPerWrite <= 0 {

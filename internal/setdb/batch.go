@@ -18,10 +18,23 @@ import (
 // Write is one pending mutation for the group-commit path: insert IDs
 // into the set under Key, creating it on first use; Dynamic selects the
 // counting-filter (deletable) storage kind, exactly as AddDynamic does.
+//
+// Remove inverts the mutation, mirroring the single-write removal
+// surface. A dynamic remove (Remove with Dynamic set) removes one
+// insertion of each id from the dynamic set under Key with
+// RemoveDynamic's semantics: the key must exist (ErrNoSet) and every id
+// must be a member at its turn (bloom.ErrNotMember) or the whole batch
+// aborts unpublished. A plain remove (Remove without Dynamic) deletes
+// the entire stored set like Delete — IDs must be empty, since
+// individual ids cannot be removed from a plain Bloom filter — and a
+// delete-miss is a no-op rather than an error, matching Delete's
+// bool-not-error contract. Mixed add/remove batches compose in slice
+// order and still publish once per touched shard.
 type Write struct {
 	Key     string
 	IDs     []uint64
 	Dynamic bool
+	Remove  bool
 }
 
 // AddMany is the variadic convenience form of ApplyBatch.
@@ -29,12 +42,13 @@ func (db *DB) AddMany(writes ...Write) error { return db.ApplyBatch(writes) }
 
 // ApplyBatch applies a batch of writes with one snapshot publish per
 // touched shard. Writes to the same key compose in slice order, exactly
-// as sequential Add/AddDynamic calls would.
+// as sequential Add/AddDynamic/Delete/RemoveDynamic calls would; adds
+// and removes may be mixed freely in one batch.
 //
 // The batch is all-or-nothing: every id is namespace-validated and every
 // key's storage kind is checked before anything is published, and a
-// failure (ErrOutOfRange, ErrKeyClash) leaves the database exactly as it
-// was. On a pruned database the shared tree grows once for the union of
+// failure (ErrOutOfRange, ErrKeyClash, ErrNoSet, bloom.ErrNotMember)
+// leaves the database exactly as it was. On a pruned database the shared tree grows once for the union of
 // all ids, before any shard lock is taken; as with Add, tree occupancy
 // from a batch that later fails costs performance, never correctness.
 //
@@ -47,17 +61,26 @@ func (db *DB) ApplyBatch(writes []Write) error {
 		return nil
 	}
 	// Validate everything validatable before paying for tree growth.
+	// Only inserted ids grow the tree: removals never add occupancy (and
+	// the tree is monotone anyway — removed ids keep their ranges).
 	total := 0
 	for i := range writes {
 		if err := db.validateIDs(writes[i].IDs); err != nil {
 			return err
 		}
-		total += len(writes[i].IDs)
+		if writes[i].Remove && !writes[i].Dynamic && len(writes[i].IDs) > 0 {
+			return fmt.Errorf("setdb: remove of plain set %q carries ids (individual ids cannot be removed from a plain Bloom filter)", writes[i].Key)
+		}
+		if !writes[i].Remove {
+			total += len(writes[i].IDs)
+		}
 	}
 	if db.opts.Pruned && total > 0 {
 		all := make([]uint64, 0, total)
 		for i := range writes {
-			all = append(all, writes[i].IDs...)
+			if !writes[i].Remove {
+				all = append(all, writes[i].IDs...)
+			}
 		}
 		if err := db.tree.InsertBatch(all); err != nil {
 			return err
@@ -110,6 +133,33 @@ func (db *DB) ApplyBatch(writes []Write) error {
 		for _, wi := range byShard[si] {
 			w := &writes[wi]
 			h := hashes[wi]
+			if w.Remove {
+				if w.Dynamic {
+					if p.dyn == nil {
+						p.dyn = newChunkBuilder(cur.dynamic)
+					}
+					c, ok := p.dyn.get(h, w.Key)
+					if !ok {
+						return fmt.Errorf("%w %q (dynamic)", ErrNoSet, w.Key)
+					}
+					next, err := c.CloneRemove(w.IDs...)
+					if err != nil {
+						return err
+					}
+					p.dyn.set(h, w.Key, next)
+				} else {
+					// Delete-miss is a no-op; don't build (or later
+					// publish) a snapshot for a shard only touched by
+					// misses.
+					if p.sets != nil {
+						p.sets.delete(h, w.Key)
+					} else if _, ok := cur.sets.get(h, w.Key); ok {
+						p.sets = newChunkBuilder(cur.sets)
+						p.sets.delete(h, w.Key)
+					}
+				}
+				continue
+			}
 			if w.Dynamic {
 				if p.sets != nil {
 					if _, clash := p.sets.get(h, w.Key); clash {

@@ -230,21 +230,28 @@ func TestStatsChunkOccupancy(t *testing.T) {
 		}
 	}
 	st := db.Stats()
-	if st.ChunksPerShard != numChunks {
-		t.Fatalf("ChunksPerShard = %d, want %d", st.ChunksPerShard, numChunks)
+	if st.MaxChunksPerShard != maxChunks {
+		t.Fatalf("MaxChunksPerShard = %d, want %d", st.MaxChunksPerShard, maxChunks)
 	}
-	occupied, maxChunk := 0, 0
+	occupied, maxChunk, total := 0, 0, 0
 	for _, ss := range st.Shards {
 		occupied += ss.OccupiedChunks
+		total += ss.Chunks
 		if ss.MaxChunkKeys > maxChunk {
 			maxChunk = ss.MaxChunkKeys
 		}
-		if ss.OccupiedChunks > numChunks {
-			t.Fatalf("shard reports %d occupied chunks of %d", ss.OccupiedChunks, numChunks)
+		if ss.OccupiedChunks > ss.Chunks {
+			t.Fatalf("shard reports %d occupied chunks of %d allocated", ss.OccupiedChunks, ss.Chunks)
+		}
+		if ss.Chunks > 2*maxChunks {
+			t.Fatalf("shard reports %d chunks, cap is %d per kind", ss.Chunks, maxChunks)
 		}
 	}
 	if occupied == 0 || maxChunk == 0 {
 		t.Fatalf("chunk occupancy not reported: occupied=%d max=%d", occupied, maxChunk)
+	}
+	if total != st.TotalChunks {
+		t.Fatalf("TotalChunks = %d, shard sum = %d", st.TotalChunks, total)
 	}
 	if st.StateWrites != 512 || st.StatePublishes != 512 {
 		t.Fatalf("single-write counters off: writes=%d publishes=%d", st.StateWrites, st.StatePublishes)

@@ -13,11 +13,14 @@ type ShardStats struct {
 	// the shard's current snapshot.
 	Sets    int
 	Dynamic int
-	// OccupiedChunks is the number of the shard's chunks (out of
-	// ChunksPerShard, counting plain and dynamic chunk pairs together)
-	// holding at least one key; MaxChunkKeys is the largest combined key
-	// count of any single chunk pair — the worst-case copy unit of one
-	// write into this shard.
+	// Chunks is the number of chunks currently allocated across the
+	// shard's plain and dynamic tables combined. Each table grows
+	// independently from 1 up to MaxChunksPerShard with occupancy, so a
+	// lightly loaded shard reports 2 while a saturated one reports 512.
+	Chunks int
+	// OccupiedChunks is the number of those chunks holding at least one
+	// key; MaxChunkKeys is the largest key count of any single chunk —
+	// the worst-case copy unit of one write into this shard.
 	OccupiedChunks int
 	MaxChunkKeys   int
 }
@@ -31,10 +34,15 @@ type DBStats struct {
 	DynamicSets int
 	// Shards holds per-shard occupancy, indexed by shard number.
 	Shards []ShardStats
-	// ChunksPerShard is the fixed chunk count each shard's persistent key
-	// map is split into — the denominator of the copy-on-write bound (a
-	// write copies ~keys/ChunksPerShard entries, not the whole shard).
-	ChunksPerShard int
+	// MaxChunksPerShard is the cap each shard's persistent key maps grow
+	// to — the asymptotic denominator of the copy-on-write bound (a
+	// write into a saturated shard copies ~keys/MaxChunksPerShard
+	// entries, not the whole shard). TotalChunks is the number of chunks
+	// currently allocated across all shards and kinds; an untouched
+	// shard map contributes 0, and the total approaches
+	// 2·numShards·MaxChunksPerShard as shards saturate.
+	MaxChunksPerShard int
+	TotalChunks       int
 	// StateWrites counts logical write operations applied (Add, Delete,
 	// AddDynamic, RemoveDynamic, and each Write of a batch).
 	// StatePublishes counts snapshot publishes; group commit makes it
@@ -75,32 +83,44 @@ func (st DBStats) MeanBytesCopiedPerWrite() float64 {
 // call at any frequency while readers and writers run.
 func (db *DB) Stats() DBStats {
 	st := DBStats{
-		Shards:           make([]ShardStats, numShards),
-		ChunksPerShard:   numChunks,
-		StateWrites:      db.stateWrites.Load(),
-		StatePublishes:   db.statePublishes.Load(),
-		StateBytesCopied: db.stateBytes.Load(),
-		Generations:      db.gen.Load(),
-		TreeNodes:        db.tree.Nodes(),
-		TreeDepth:        db.tree.Depth(),
-		TreePruned:       db.tree.Pruned(),
-		TreeMemoryBytes:  db.tree.MemoryBytes(),
-		GrowthEpoch:      db.tree.GrowthEpoch(),
-		SubtreeEpochs:    db.tree.SubtreeEpochs(),
+		Shards:            make([]ShardStats, numShards),
+		MaxChunksPerShard: maxChunks,
+		StateWrites:       db.stateWrites.Load(),
+		StatePublishes:    db.statePublishes.Load(),
+		StateBytesCopied:  db.stateBytes.Load(),
+		Generations:       db.gen.Load(),
+		TreeNodes:         db.tree.Nodes(),
+		TreeDepth:         db.tree.Depth(),
+		TreePruned:        db.tree.Pruned(),
+		TreeMemoryBytes:   db.tree.MemoryBytes(),
+		GrowthEpoch:       db.tree.GrowthEpoch(),
+		SubtreeEpochs:     db.tree.SubtreeEpochs(),
 	}
 	for i := range db.shards {
 		snap := db.shards[i].load()
-		ss := ShardStats{Sets: snap.sets.len(), Dynamic: snap.dynamic.len()}
-		for c := 0; c < numChunks; c++ {
-			keys := snap.sets.chunkLen(c) + snap.dynamic.chunkLen(c)
-			if keys > 0 {
+		ss := ShardStats{
+			Sets:    snap.sets.len(),
+			Dynamic: snap.dynamic.len(),
+			Chunks:  snap.sets.numChunks() + snap.dynamic.numChunks(),
+		}
+		for _, chunk := range snap.sets.chunks {
+			if n := len(chunk); n > 0 {
 				ss.OccupiedChunks++
+				if n > ss.MaxChunkKeys {
+					ss.MaxChunkKeys = n
+				}
 			}
-			if keys > ss.MaxChunkKeys {
-				ss.MaxChunkKeys = keys
+		}
+		for _, chunk := range snap.dynamic.chunks {
+			if n := len(chunk); n > 0 {
+				ss.OccupiedChunks++
+				if n > ss.MaxChunkKeys {
+					ss.MaxChunkKeys = n
+				}
 			}
 		}
 		st.Shards[i] = ss
+		st.TotalChunks += ss.Chunks
 		st.Sets += ss.Sets
 		st.DynamicSets += ss.Dynamic
 	}

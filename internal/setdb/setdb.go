@@ -51,7 +51,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.HashKind == "" {
-		o.HashKind = hashfam.KindMurmur3
+		o.HashKind = hashfam.DefaultKind
 	}
 	if o.DesignSetSize == 0 {
 		o.DesignSetSize = 1000
@@ -94,7 +94,8 @@ var ErrOutOfRange = errors.New("setdb: id outside namespace")
 // constant (not persisted). It is sized generously for many-core
 // write-heavy workloads; the copy-on-write cost of a single write is
 // bounded separately by the chunked shard state (see chunked.go), which
-// splits each shard into numChunks chunks and copies only one of them.
+// splits each shard into occupancy-adaptive chunks and copies only one
+// of them.
 const numShards = 64
 
 // setEntry is one stored plain set: an immutable filter plus the
