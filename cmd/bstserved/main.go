@@ -13,8 +13,18 @@
 // /v1/remove; GET /v1/stats. See the README's "Serving over HTTP" section
 // for request/response schemas and example curl calls.
 //
-// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get -shutdown-timeout to finish before the listener is torn down.
+// With -bin-addr set, the same database is additionally served on a
+// second listener speaking the compact binary protocol (internal/wire):
+// length-prefixed varint frames, pipelining, credit-based streaming and
+// BUSY-shedding admission control. See the README's "Binary wire
+// protocol" section.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: both listeners
+// stop accepting, idle keep-alive connections are closed immediately,
+// and in-flight requests (streams included) get -shutdown-timeout to
+// finish before the remaining connections are force-closed. The drain is
+// hard-bounded: a client holding a stream open cannot stall the exit
+// past the deadline.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,7 +49,8 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		addr      = flag.String("addr", ":8080", "HTTP/JSON listen address")
+		binAddr   = flag.String("bin-addr", "", "binary-protocol listen address (empty: disabled)")
 		dbPath    = flag.String("db", "", "setdb file to serve (empty: start a fresh in-memory database)")
 		idsPath   = flag.String("ids", "", "occupied-ids file (one decimal id per line) for loading a pruned database")
 		noSpace   = flag.Uint64("namespace", 1_000_000, "namespace size for a fresh database")
@@ -51,6 +63,9 @@ func main() {
 		maxSets   = flag.Int("max-batch-sets", server.DefaultMaxBatchSets, "largest number of sets in one batch /v1/add request (0: default)")
 		maxStream = flag.Int("max-stream-batch", server.DefaultMaxStreamBatch, "largest streaming (NDJSON) sample n accepted (0: default)")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "largest request body in bytes (0: default)")
+		inflight  = flag.Int("max-inflight", server.DefaultMaxInFlight, "global in-flight request budget across both listeners; beyond it requests are shed (0: default)")
+		maxWrites = flag.Int("max-writes", server.DefaultMaxWrites, "in-flight budget for write requests (add/remove) within the global budget (0: default)")
+		connWin   = flag.Int("conn-window", server.DefaultConnWindow, "per-connection in-flight window on the binary listener (0: default)")
 		shutdown  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -71,9 +86,13 @@ func main() {
 		log.Printf("preloaded plain set %q with %d ids", "demo", *demo)
 	}
 
+	api := server.New(db, server.Config{
+		MaxBatch: *maxBatch, MaxBatchSets: *maxSets, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody,
+		MaxInFlight: *inflight, MaxWrites: *maxWrites, ConnWindow: *connWin,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(db, server.Config{MaxBatch: *maxBatch, MaxBatchSets: *maxSets, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody}),
+		Handler: api,
 		// ReadTimeout bounds a trickled request body the way the
 		// handler's per-chunk write deadlines bound a slow reader; no
 		// WriteTimeout, which would kill legitimate long NDJSON streams.
@@ -84,11 +103,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
-		log.Printf("serving %d sets on %s", db.Len(), *addr)
+		log.Printf("serving %d sets on %s (HTTP/JSON)", db.Len(), *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	binServing := false
+	if *binAddr != "" {
+		ln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			log.Fatalf("bstserved: binary listener: %v", err)
+		}
+		binServing = true
+		go func() {
+			log.Printf("serving binary protocol on %s", ln.Addr())
+			errc <- api.ServeBinary(ln)
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -96,16 +127,54 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("signal received; draining for up to %v", *shutdown)
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Fatalf("bstserved: shutdown: %v", err)
+		drain(srv, api, binServing, *shutdown)
+		// Collect the listener goroutines' exits; anything but the two
+		// clean-close sentinels is a real failure.
+		n := 1
+		if binServing {
+			n = 2
 		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("bstserved: %v", err)
+		for i := 0; i < n; i++ {
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, server.ErrBinaryClosed) {
+				log.Fatalf("bstserved: %v", err)
+			}
 		}
 		log.Print("bye")
 	}
+}
+
+// drain shuts both listeners down within the deadline, force-closing
+// whatever is still running when it expires. Closing idle keep-alive
+// connections happens immediately (SetKeepAlivesEnabled + Shutdown do it
+// for HTTP, ShutdownBinary for the binary side); a stream still mid-
+// flight when the deadline hits is cut, deliberately — a slow client
+// must not be able to hold the process alive past -shutdown-timeout.
+func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.Duration) {
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	// Stop handing out new keep-alive sessions right away, so connections
+	// finishing their current request close instead of going idle.
+	srv.SetKeepAlivesEnabled(false)
+	done := make(chan struct{}, 2)
+	go func() {
+		if err := srv.Shutdown(sctx); err != nil {
+			// Deadline hit with requests still running: bound the drain by
+			// force-closing instead of leaking the listener and hanging.
+			log.Printf("drain deadline exceeded, force-closing HTTP: %v", err)
+			srv.Close()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		if binServing {
+			if err := api.ShutdownBinary(sctx); err != nil {
+				log.Printf("drain deadline exceeded, force-closed binary connections: %v", err)
+			}
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
 }
 
 // openDB loads the database file (plus occupied ids for pruned trees) or

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/setdb"
+	"repro/internal/wire"
+)
+
+// TestDrainBoundedWithStreamsMidFlight is the shutdown regression test:
+// with an idle HTTP keep-alive connection open, an HTTP NDJSON stream
+// and a binary stream both mid-flight, drain() must return within the
+// deadline (force-closing the streams) instead of hanging until the
+// slow clients go away — the bug this fixes left the process waiting on
+// idle keep-alives and unbounded streams after SIGTERM.
+func TestDrainBoundedWithStreamsMidFlight(t *testing.T) {
+	opts, err := setdb.PlanOptions(0.9, 256, 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Pruned = true
+	db, err := setdb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 256)
+	for i := range ids {
+		ids[i] = uint64(i * 17 % 100_000)
+	}
+	if err := db.Add("demo", ids...); err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(db, server.Config{StreamChunk: 8})
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: api}
+	go func() { _ = srv.Serve(httpLn) }()
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = api.ServeBinary(binLn) }()
+
+	// 1. An idle HTTP keep-alive connection: complete one request, keep
+	// the connection open and silent.
+	idle, err := net.Dial("tcp", httpLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	fmt.Fprintf(idle, "GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+	idleR := bufio.NewReader(idle)
+	if resp, err := http.ReadResponse(idleR, nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// 2. An HTTP NDJSON stream mid-flight: request a large streamed batch
+	// and then stop reading, so the handler blocks on the window.
+	slow, err := net.Dial("tcp", httpLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	body := `{"key":"demo","n":1000000,"stream":true}`
+	fmt.Fprintf(slow, "POST /v1/sample HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+
+	// 3. A binary stream parked on credit.
+	bin, err := net.Dial("tcp", binLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	req := wire.SampleReq{Key: "demo", N: 100_000, Credit: 0}.Encode(nil, true)
+	if err := wire.WriteFrame(bin, wire.OpSampleStream, 0, 1, req); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let all three connections settle in
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		drain(srv, api, true, 300*time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain hung past its deadline with streams mid-flight")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v, want ≲300ms + teardown slack", elapsed)
+	}
+
+	// Every connection must now be dead: reads on all three fail fast
+	// rather than timing out.
+	for name, conn := range map[string]net.Conn{"idle-http": idle, "stream-http": slow, "binary": bin} {
+		_ = conn.SetReadDeadline(time.Now().Add(1 * time.Second))
+		buf := make([]byte, 4096)
+		dead := false
+		for i := 0; i < 1000; i++ {
+			if _, err := conn.Read(buf); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break
+				}
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			t.Errorf("%s connection still alive after bounded drain", name)
+		}
+	}
+}

@@ -9,47 +9,77 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // RunServing measures the network serving layer end-to-end: it starts
-// the bstserved handler in-process on a real loopback listener and
-// drives it with a configurable read/write client mix over actual HTTP —
-// connection handling, JSON codec and all — as the client count grows.
-// Config.WriteFrac of the operations are POST /v1/add to the sampled key
-// (the same worst case as the concurrency experiment, now with the
-// serving stack on top); the rest are POST /v1/sample.
+// the bstserved handler in-process on real loopback listeners — one
+// HTTP/JSON, one binary-protocol — and drives them with configurable
+// client mixes over actual connections: connection handling, codec and
+// all. Three tables come out:
 //
-// A second table sweeps the batch size of a single client, comparing the
-// buffered-JSON and streaming-NDJSON response modes — the knob a client
-// turns when one logical request wants thousands of samples.
+//   - serving: HTTP read/write client mix as the client count grows
+//     (Config.WriteFrac of operations are POST /v1/add).
+//   - serving_batch: buffered JSON vs streaming NDJSON for one client,
+//     as the per-request batch grows.
+//   - serving_wire: the JSON-vs-binary sweep — protocol × clients ×
+//     batch — quantifying what the binary frame codec saves over HTTP
+//     per request (encode/decode and connection machinery) and per
+//     sample (varints vs JSON numbers).
 func RunServing(c Config) ([]*Table, error) {
 	db, pool, M, n, err := benchDB(c)
 	if err != nil {
 		return nil, err
 	}
 
-	// Host the handler on a real loopback listener (plain net/http, not
+	// Host the handler on real loopback listeners (plain net/http, not
 	// the httptest harness, which doesn't belong in a shipped binary).
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	hs := &http.Server{Handler: server.New(db, server.Config{Seed: c.Seed + 1})}
+	srv := server.New(db, server.Config{Seed: c.Seed + 1})
+	hs := &http.Server{Handler: srv}
 	go func() { _ = hs.Serve(ln) }()
 	defer hs.Close()
 	baseURL := "http://" + ln.Addr().String()
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.ServeBinary(binLn) }()
+	binAddr := binLn.Addr().String()
+	defer binLn.Close()
+
+	const maxClients = 16
+	// The HTTP transport is tuned so the JSON baseline is not penalized
+	// by connection churn: keep-alives explicitly on with a generous
+	// idle window, and an idle pool at least as deep as the client
+	// count, so every benchmark client reuses its own warm connection
+	// exactly as the binary protocol's persistent connections do. The
+	// JSON-vs-binary comparison is then codec + protocol machinery, not
+	// TCP handshakes.
 	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        256,
-		MaxIdleConnsPerHost: 256,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		DisableKeepAlives:   false,
+		MaxIdleConns:        4 * maxClients,
+		MaxIdleConnsPerHost: 4 * maxClients,
+		IdleConnTimeout:     90 * time.Second,
 	}}
 	defer client.CloseIdleConnections()
 
 	const runFor = 100 * time.Millisecond
+	clientCounts := []int{1, 2, 4, 8, 16}
 
 	mixTbl := &Table{
 		ID: "serving",
@@ -59,7 +89,7 @@ func RunServing(c Config) ([]*Table, error) {
 			"clients", "writefrac", "requests", "writes", "errors", "elapsed_ms", "req_per_sec", "avg_latency_us",
 		},
 	}
-	for _, clients := range []int{1, 2, 4, 8, 16} {
+	for _, clients := range clientCounts {
 		var requests, writes, errorsN, latencyNS atomic.Uint64
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -142,7 +172,221 @@ func RunServing(c Config) ([]*Table, error) {
 			)
 		}
 	}
-	return []*Table{mixTbl, batchTbl}, nil
+
+	wireTbl, err := runWireSweep(client, baseURL, binAddr, clientCounts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{mixTbl, batchTbl, wireTbl}, nil
+}
+
+// runWireSweep is the JSON-vs-binary protocol comparison: the same
+// sample workload (same key, same batch size, same client count) over
+// POST /v1/sample and over the binary frame protocol, cell by cell.
+//
+// The measurement is PAIRED fixed-work, not fixed-time: each cell runs
+// a fixed number of requests per protocol, split into chunks that
+// alternate json/binary (order flipping each chunk). Both protocols
+// therefore sample the same ambient noise — GC, scheduler hiccups,
+// neighboring load — and the req/s delta reflects protocol cost rather
+// than which protocol drew the quieter window; fixed work also removes
+// the req/s quantization a short timed window has at large batches.
+func runWireSweep(httpClient *http.Client, baseURL, binAddr string, clientCounts []int) (*Table, error) {
+	tbl := &Table{
+		ID: "serving_wire",
+		Title: fmt.Sprintf("JSON vs binary wire protocol, sample workload (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Columns: []string{
+			"protocol", "clients", "batch", "requests", "samples", "errors",
+			"elapsed_ms", "req_per_sec", "samples_per_sec", "avg_latency_us",
+		},
+	}
+	// Batch sizes stop at 64: beyond that the server is purely
+	// sampling-compute-bound (~28µs per drawn sample against ~0.1µs per
+	// id of codec work), so a protocol comparison measures only noise —
+	// the serving_batch table covers large-batch amortization.
+	for _, clients := range clientCounts {
+		for _, batch := range []int{1, 8, 64} {
+			jsonRow, binRow, err := runWirePair(clients, batch, httpClient, baseURL, binAddr)
+			if err != nil {
+				return nil, fmt.Errorf("serving wire cell (clients=%d, batch=%d): %w", clients, batch, err)
+			}
+			tbl.Rows = append(tbl.Rows, jsonRow, binRow)
+		}
+	}
+	return tbl, nil
+}
+
+// wireCounters accumulates one protocol's side of a paired cell.
+type wireCounters struct {
+	requests, samples, errors, latencyNS atomic.Uint64
+	elapsed                              time.Duration
+}
+
+func (c *wireCounters) row(proto string, clients, batch int) []string {
+	reqs := c.requests.Load()
+	avgUS := 0.0
+	if reqs > 0 {
+		avgUS = float64(c.latencyNS.Load()) / float64(reqs) / 1e3
+	}
+	return []string{
+		proto,
+		fmt.Sprintf("%d", clients),
+		fmt.Sprintf("%d", batch),
+		fmt.Sprintf("%d", reqs),
+		fmt.Sprintf("%d", c.samples.Load()),
+		fmt.Sprintf("%d", c.errors.Load()),
+		fmt.Sprintf("%.1f", float64(c.elapsed.Microseconds())/1000),
+		fmt.Sprintf("%.0f", float64(reqs)/c.elapsed.Seconds()),
+		fmt.Sprintf("%.0f", float64(c.samples.Load())/c.elapsed.Seconds()),
+		fmt.Sprintf("%.1f", avgUS),
+	}
+}
+
+func runWirePair(clients, batch int, httpClient *http.Client, baseURL, binAddr string) (jsonRow, binRow []string, err error) {
+	// Binary clients dial up front, one persistent connection each —
+	// the analogue of the warmed HTTP keep-alive pool.
+	binClients := make([]*wire.Client, clients)
+	for i := range binClients {
+		bc, derr := wire.Dial(binAddr)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		bc.Timeout = 10 * time.Second
+		defer bc.Close()
+		binClients[i] = bc
+	}
+	body := fmt.Sprintf(`{"key":"bench","n":%d}`, batch)
+	oneReq := func(proto string, w int) (int, error) {
+		if proto == "binary" {
+			ids, err := binClients[w].Sample("bench", batch, wire.SampleOpts{})
+			return len(ids), err
+		}
+		return postCountSamples(httpClient, baseURL+"/v1/sample", body, false)
+	}
+	// Per-chunk request budget across all clients, sized so a chunk is
+	// tens of milliseconds — long enough to amortize the start barrier,
+	// short enough that alternation tracks ambient noise.
+	perChunk := 1024 / batch
+	if perChunk < clients {
+		perChunk = clients
+	}
+	perClient := perChunk / clients
+	chunks := 6
+	if batch >= 64 {
+		chunks = 10 // smallest protocol edge → tightest pairing
+	}
+	counters := map[string]*wireCounters{"json": {}, "binary": {}}
+
+	// runChunk drives all clients through perClient requests of one
+	// protocol and adds the chunk's wall time to that protocol's total.
+	runChunk := func(proto string, timed bool) error {
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		var firstErr error
+		cnt := counters[proto]
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					t0 := time.Now()
+					got, err := oneReq(proto, w)
+					if !timed {
+						continue
+					}
+					cnt.latencyNS.Add(uint64(time.Since(t0).Nanoseconds()))
+					cnt.requests.Add(1)
+					if err != nil {
+						cnt.errors.Add(1)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					} else {
+						cnt.samples.Add(uint64(got))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if timed {
+			cnt.elapsed += time.Since(start)
+		}
+		return firstErr
+	}
+
+	// One untimed warm-up chunk per protocol absorbs connection setup
+	// and first-touch costs; then the timed chunks alternate, flipping
+	// order so neither protocol always runs first after a quiet gap.
+	for _, proto := range []string{"json", "binary"} {
+		if err := runChunk(proto, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	for chunk := 0; chunk < chunks; chunk++ {
+		order := []string{"json", "binary"}
+		if chunk%2 == 1 {
+			order = []string{"binary", "json"}
+		}
+		for _, proto := range order {
+			if err := runChunk(proto, true); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return counters["json"].row("json", clients, batch),
+		counters["binary"].row("binary", clients, batch), nil
+}
+
+// ServingSummary extracts the one-line JSON-vs-binary headline from a
+// serving run's tables: the req/s ratio at the largest client count and
+// smallest batch (protocol overhead dominates there) and the latency
+// ratio at the largest batch (codec cost dominates there).
+func ServingSummary(tables []*Table) (string, bool) {
+	for _, t := range tables {
+		if t.ID != "serving_wire" {
+			continue
+		}
+		col := map[string]int{}
+		for i, name := range t.Columns {
+			col[name] = i
+		}
+		type cell struct{ reqPerSec, avgUS float64 }
+		cells := map[string]cell{} // "proto/clients/batch"
+		maxClients, maxBatch := 0, 0
+		for _, row := range t.Rows {
+			clients, _ := strconv.Atoi(row[col["clients"]])
+			batch, _ := strconv.Atoi(row[col["batch"]])
+			rps, _ := strconv.ParseFloat(row[col["req_per_sec"]], 64)
+			avg, _ := strconv.ParseFloat(row[col["avg_latency_us"]], 64)
+			if clients > maxClients {
+				maxClients = clients
+			}
+			if batch > maxBatch {
+				maxBatch = batch
+			}
+			key := fmt.Sprintf("%s/%d/%d", row[col["protocol"]], clients, batch)
+			cells[key] = cell{reqPerSec: rps, avgUS: avg}
+		}
+		j1 := cells[fmt.Sprintf("json/%d/%d", maxClients, 1)]
+		b1 := cells[fmt.Sprintf("binary/%d/%d", maxClients, 1)]
+		jb := cells[fmt.Sprintf("json/%d/%d", maxClients, maxBatch)]
+		bb := cells[fmt.Sprintf("binary/%d/%d", maxClients, maxBatch)]
+		if j1.reqPerSec <= 0 || b1.reqPerSec <= 0 || bb.avgUS <= 0 {
+			return "", false
+		}
+		var parts []string
+		parts = append(parts, fmt.Sprintf("binary wire: %.2fx JSON req/s at %d clients batch=1",
+			b1.reqPerSec/j1.reqPerSec, maxClients))
+		if jb.avgUS > 0 {
+			parts = append(parts, fmt.Sprintf("%.2fx lower avg latency at batch=%d", jb.avgUS/bb.avgUS, maxBatch))
+		}
+		return strings.Join(parts, ", "), true
+	}
+	return "", false
 }
 
 // doPost fires one JSON POST and reports whether it returned 200. The

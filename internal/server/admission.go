@@ -1,0 +1,33 @@
+package server
+
+import (
+	"bufio"
+	"io"
+)
+
+// gate is a non-blocking counting semaphore: the admission-control
+// primitive. tryAcquire never waits — admission control's contract is
+// that overload turns into immediate sheds, not queues, so there is
+// deliberately no blocking acquire.
+type gate struct{ ch chan struct{} }
+
+func newGate(n int) *gate { return &gate{ch: make(chan struct{}, n)} }
+
+func (g *gate) tryAcquire() bool {
+	select {
+	case g.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *gate) release() { <-g.ch }
+
+// inUse reports the current occupancy (point-in-time, for stats).
+func (g *gate) inUse() int { return len(g.ch) }
+
+// newBufReader sizes the per-connection read buffer: large enough to
+// take a whole pipelined burst in one syscall, small enough that ten
+// thousand idle connections stay cheap.
+func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 64<<10) }

@@ -1,0 +1,673 @@
+package server
+
+// The binary listener: the compact wire protocol (internal/wire) served
+// next to the HTTP/JSON API, over the same database and the same
+// admission gates. The protocol exists because the serving benchmark
+// showed JSON encode/decode as a visible per-request cost; this path
+// replaces it with varint frames and replaces HTTP's per-request
+// connection machinery with pipelined frames on long-lived connections.
+//
+// Backpressure happens at three levels, innermost first:
+//
+//   - per-connection window (Config.ConnWindow): at most that many
+//     requests of one connection are in flight at once; excess frames
+//     get an immediate BUSY frame. One greedy pipelining client
+//     therefore saturates itself, not the server.
+//   - global budget (Config.MaxInFlight) and the write sub-budget
+//     (Config.MaxWrites), shared with the HTTP listener: when the
+//     server-wide budget is gone, requests are shed with BUSY instead
+//     of queueing behind the group-commit path.
+//   - per-stream credit: a streaming sample response may only have
+//     Credit unconsumed samples in flight; the server stalls drawing
+//     (creditStalls counts it) until the client grants more via
+//     OpCredit frames. A slow stream consumer therefore costs the
+//     server a parked goroutine, not an unbounded buffer.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/setdb"
+	"repro/internal/wire"
+)
+
+// ErrBinaryClosed is returned by ServeBinary after ShutdownBinary tears
+// the listener down — the binary analogue of http.ErrServerClosed.
+var ErrBinaryClosed = errors.New("server: binary listener closed")
+
+// binEndpoints are the metrics keys of the binary protocol's endpoints,
+// registered alongside the HTTP paths so /v1/stats reports both
+// protocols in one endpoint table.
+var binEndpoints = []string{
+	"bin:sample", "bin:sample_stream", "bin:reconstruct",
+	"bin:intersection", "bin:add", "bin:remove", "bin:stats",
+}
+
+// binEndpointFor maps a request opcode to its metrics key and write-path
+// classification.
+func binEndpointFor(op byte) (name string, isWrite, ok bool) {
+	switch op {
+	case wire.OpSample:
+		return "bin:sample", false, true
+	case wire.OpSampleStream:
+		return "bin:sample_stream", false, true
+	case wire.OpReconstruct:
+		return "bin:reconstruct", false, true
+	case wire.OpIntersection:
+		return "bin:intersection", false, true
+	case wire.OpAdd:
+		return "bin:add", true, true
+	case wire.OpRemove:
+		return "bin:remove", true, true
+	case wire.OpStats:
+		return "bin:stats", false, true
+	}
+	return "", false, false
+}
+
+// binState is the binary listener's shared state and counters, embedded
+// in Server so /v1/stats can report it and both protocols share gates.
+type binState struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*binConn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+
+	connsActive   atomic.Int64
+	connsTotal    atomic.Uint64
+	framesIn      atomic.Uint64
+	framesOut     atomic.Uint64
+	streamsActive atomic.Int64
+	creditStalls  atomic.Uint64
+	protoErrors   atomic.Uint64
+	shed          atomic.Uint64
+}
+
+func (b *binState) isDraining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
+}
+
+// ServeBinary accepts and serves binary-protocol connections on ln until
+// ShutdownBinary (then it returns ErrBinaryClosed) or a fatal accept
+// error. Call it from its own goroutine, like http.Server.Serve.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	s.bin.mu.Lock()
+	if s.bin.draining {
+		s.bin.mu.Unlock()
+		ln.Close()
+		return ErrBinaryClosed
+	}
+	if s.bin.ln != nil {
+		s.bin.mu.Unlock()
+		ln.Close()
+		return errors.New("server: ServeBinary called twice")
+	}
+	s.bin.ln = ln
+	if s.bin.conns == nil {
+		s.bin.conns = map[*binConn]struct{}{}
+	}
+	s.bin.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.bin.isDraining() {
+				return ErrBinaryClosed
+			}
+			return err
+		}
+		bc := &binConn{srv: s, conn: conn, streams: map[uint32]*binStream{}}
+		s.bin.mu.Lock()
+		if s.bin.draining {
+			s.bin.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.bin.conns[bc] = struct{}{}
+		s.bin.mu.Unlock()
+		s.bin.connsActive.Add(1)
+		s.bin.connsTotal.Add(1)
+		s.bin.wg.Add(1)
+		go func() {
+			defer s.bin.wg.Done()
+			bc.serve()
+			s.bin.mu.Lock()
+			delete(s.bin.conns, bc)
+			s.bin.mu.Unlock()
+			s.bin.connsActive.Add(-1)
+		}()
+	}
+}
+
+// ShutdownBinary drains the binary listener: stop accepting, close idle
+// connections immediately, let in-flight requests (streams included)
+// finish until ctx expires, then force-close whatever remains. It always
+// returns with every connection closed; the error reports whether the
+// drain was graceful (nil) or cut short (ctx.Err()).
+func (s *Server) ShutdownBinary(ctx context.Context) error {
+	s.bin.mu.Lock()
+	s.bin.draining = true
+	ln := s.bin.ln
+	s.bin.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.bin.wg.Wait()
+		close(done)
+	}()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.closeBinaryConns(false)
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.closeBinaryConns(true)
+			<-done // force-close unblocks every handler promptly
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// closeBinaryConns closes idle connections (zero in-flight requests), or
+// every connection when force is set.
+func (s *Server) closeBinaryConns(force bool) {
+	s.bin.mu.Lock()
+	conns := make([]*binConn, 0, len(s.bin.conns))
+	for bc := range s.bin.conns {
+		conns = append(conns, bc)
+	}
+	s.bin.mu.Unlock()
+	for _, bc := range conns {
+		if force || bc.inflight.Load() == 0 {
+			bc.close()
+		}
+	}
+}
+
+// binConn is one accepted binary-protocol connection. The reader loop
+// (serve) owns the read side; responses are written by per-request
+// goroutines under writeMu, one whole frame per critical section, so
+// pipelined responses never interleave.
+type binConn struct {
+	srv      *Server
+	conn     net.Conn
+	writeMu  sync.Mutex
+	inflight atomic.Int32
+
+	streamsMu sync.Mutex
+	streams   map[uint32]*binStream
+	closed    bool // streams map sealed; set on teardown under streamsMu
+}
+
+func (bc *binConn) close() { bc.conn.Close() }
+
+// serve runs the reader loop until the peer disconnects, a protocol
+// error poisons the stream, or shutdown closes the connection.
+func (bc *binConn) serve() {
+	defer bc.conn.Close()
+	defer bc.abortStreams()
+	br := newBufReader(bc.conn)
+	for {
+		h, body, err := wire.ReadFrame(br, int(bc.srv.cfg.MaxBodyBytes))
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				// clean disconnect between frames
+			case errors.Is(err, wire.ErrVersion):
+				bc.srv.bin.protoErrors.Add(1)
+				bc.writeError(h.RequestID, wire.ErrCodeVersion, err.Error())
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				bc.srv.bin.protoErrors.Add(1)
+				bc.writeError(h.RequestID, wire.ErrCodeTooLarge, err.Error())
+			case errors.Is(err, wire.ErrTruncated), errors.Is(err, wire.ErrReserved):
+				bc.srv.bin.protoErrors.Add(1)
+			}
+			// Any of these poisons the framing; the next header offset is
+			// unknowable, so the connection closes rather than guessing.
+			return
+		}
+		bc.srv.bin.framesIn.Add(1)
+		bc.dispatch(h, body)
+	}
+}
+
+// dispatch admits one request frame and hands it to a goroutine, or
+// sheds it. Credit grants are handled inline — they must overtake queued
+// requests, that is their whole point.
+func (bc *binConn) dispatch(h wire.Header, body []byte) {
+	if h.Opcode == wire.OpCredit {
+		bc.grantCredit(h.RequestID, body)
+		return
+	}
+	name, isWrite, ok := binEndpointFor(h.Opcode)
+	if !ok {
+		bc.srv.bin.protoErrors.Add(1)
+		bc.writeError(h.RequestID, wire.ErrCodeBadRequest, fmt.Sprintf("unknown opcode %d", h.Opcode))
+		return
+	}
+	m := bc.srv.metrics[name]
+	if bc.srv.bin.isDraining() {
+		bc.writeError(h.RequestID, wire.ErrCodeShutdown, "server draining")
+		return
+	}
+	// Admission, cheapest gate first. The per-connection window is
+	// checked before the global budget so one connection's burst can
+	// never consume global slots it would only be shed from anyway.
+	if int(bc.inflight.Load()) >= bc.srv.cfg.ConnWindow {
+		bc.busy(h.RequestID, m)
+		return
+	}
+	if !bc.srv.inflight.tryAcquire() {
+		bc.busy(h.RequestID, m)
+		return
+	}
+	if isWrite && !bc.srv.writeGate.tryAcquire() {
+		bc.srv.inflight.release()
+		bc.busy(h.RequestID, m)
+		return
+	}
+	bc.inflight.Add(1)
+	go func() {
+		start := time.Now()
+		err := bc.handle(h, body)
+		m.observe(time.Since(start), err != nil)
+		bc.inflight.Add(-1)
+		if isWrite {
+			bc.srv.writeGate.release()
+		}
+		bc.srv.inflight.release()
+	}()
+}
+
+// busy sheds one request with a BUSY frame — the fast path out: no body
+// decode, no database work, one 12-byte frame back.
+func (bc *binConn) busy(reqID uint32, m *endpointMetrics) {
+	m.observeShed()
+	bc.srv.bin.shed.Add(1)
+	bc.writeFrame(wire.OpBusy, 0, reqID, nil)
+}
+
+// writeFrame writes one frame under the write lock with a write
+// deadline, so one dead peer cannot park every handler goroutine of its
+// connection forever.
+func (bc *binConn) writeFrame(op, flags byte, reqID uint32, body []byte) error {
+	bc.writeMu.Lock()
+	defer bc.writeMu.Unlock()
+	_ = bc.conn.SetWriteDeadline(time.Now().Add(bc.srv.cfg.StreamWriteTimeout))
+	err := wire.WriteFrame(bc.conn, op, flags, reqID, body)
+	if err == nil {
+		bc.srv.bin.framesOut.Add(1)
+	}
+	return err
+}
+
+func (bc *binConn) writeError(reqID uint32, code uint64, msg string) {
+	_ = bc.writeFrame(wire.OpError, 0, reqID, wire.ErrorResult{Code: code, Msg: msg}.Encode(nil))
+}
+
+// errCodeFor maps handler errors onto wire error codes by reusing the
+// HTTP status classification — one taxonomy for both protocols.
+func errCodeFor(err error) uint64 { return uint64(statusFor(err)) }
+
+// handle serves one admitted request. The returned error is for metrics
+// only; the client-visible form has already been written as an OpError
+// frame.
+func (bc *binConn) handle(h wire.Header, body []byte) error {
+	var err error
+	switch h.Opcode {
+	case wire.OpSample:
+		err = bc.handleSample(h, body)
+	case wire.OpSampleStream:
+		err = bc.handleSampleStream(h, body)
+	case wire.OpReconstruct:
+		err = bc.handleReconstruct(h, body)
+	case wire.OpIntersection:
+		err = bc.handleIntersection(h, body)
+	case wire.OpAdd:
+		err = bc.handleAdd(h, body)
+	case wire.OpRemove:
+		err = bc.handleRemove(h, body)
+	case wire.OpStats:
+		err = bc.handleStats(h)
+	}
+	return err
+}
+
+// fail writes err to the peer as an error frame and returns it for the
+// metrics path. Decode failures additionally count as protocol errors.
+func (bc *binConn) fail(reqID uint32, err error) error {
+	if errors.Is(err, wire.ErrMalformed) {
+		bc.srv.bin.protoErrors.Add(1)
+		bc.writeError(reqID, wire.ErrCodeBadRequest, err.Error())
+		return err
+	}
+	bc.writeError(reqID, errCodeFor(err), err.Error())
+	return err
+}
+
+// sampleRequestFrom translates a wire sample request into the shared
+// SampleRequest the HTTP handlers use, applying the same defaults.
+func sampleRequestFrom(h wire.Header, m wire.SampleReq, stream bool) SampleRequest {
+	req := SampleRequest{
+		Key:     m.Key,
+		N:       int(m.N),
+		Workers: int(m.Workers),
+		Dynamic: h.Flags&wire.FlagDynamic != 0,
+		Uniform: h.Flags&wire.FlagUniform != 0,
+		Stream:  stream,
+	}
+	if req.N == 0 {
+		req.N = 1
+	}
+	return req
+}
+
+// validateSample mirrors handleSample's request validation.
+func (bc *binConn) validateSample(req SampleRequest) error {
+	if req.Key == "" {
+		return errf(400, "missing key")
+	}
+	if req.N < 0 {
+		return errf(400, "negative n %d", req.N)
+	}
+	if req.Stream {
+		if req.N > bc.srv.cfg.MaxStreamBatch {
+			return errf(413, "n %d exceeds the streaming batch limit %d", req.N, bc.srv.cfg.MaxStreamBatch)
+		}
+	} else if req.N > bc.srv.cfg.MaxBatch {
+		return errf(413, "n %d exceeds the batch limit %d (stream mode affords up to %d)", req.N, bc.srv.cfg.MaxBatch, bc.srv.cfg.MaxStreamBatch)
+	}
+	if req.Uniform && req.Dynamic {
+		return errf(400, "uniform sampling serves plain sets only")
+	}
+	return nil
+}
+
+func (bc *binConn) handleSample(h wire.Header, body []byte) error {
+	m, err := wire.DecodeSampleReq(body, false)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	req := sampleRequestFrom(h, m, false)
+	if err := bc.validateSample(req); err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	draw, err := bc.srv.chunkDrawer(req)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	var rng *rand.Rand
+	if req.Uniform {
+		rng = bc.srv.rng()
+		defer bc.srv.putRNG(rng)
+	}
+	ids, err := draw(req.N, rng)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	resp := wire.SampleResult{Requested: uint64(req.N), IDs: ids}.Encode(nil)
+	return bc.writeFrame(wire.OpSampleResult, 0, h.RequestID, resp)
+}
+
+// binStream is the flow-control state of one streaming response.
+type binStream struct {
+	credit atomic.Int64
+	notify chan struct{} // capacity 1: "credit changed"
+	done   chan struct{} // closed on connection teardown
+}
+
+// errStreamStarved marks a stream whose client stopped granting credit
+// for a whole StreamWriteTimeout.
+var errStreamStarved = errors.New("stream starved of credit")
+
+// take claims up to max samples of credit, waiting (bounded by timeout)
+// for a grant when the window is empty.
+func (st *binStream) take(max int, timeout time.Duration, stalls *atomic.Uint64) (int, error) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		c := st.credit.Load()
+		if c > 0 {
+			n := int64(max)
+			if c < n {
+				n = c
+			}
+			if st.credit.CompareAndSwap(c, c-n) {
+				return int(n), nil
+			}
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			stalls.Add(1)
+		}
+		select {
+		case <-st.notify:
+		case <-st.done:
+			return 0, errStreamAborted
+		case <-timer.C:
+			return 0, errStreamStarved
+		}
+	}
+}
+
+func (st *binStream) grant(n uint64) {
+	st.credit.Add(int64(n))
+	select {
+	case st.notify <- struct{}{}:
+	default:
+	}
+}
+
+// registerStream installs the flow-control state for stream id, failing
+// on a duplicate id (a client bug) or a torn-down connection.
+func (bc *binConn) registerStream(id uint32, st *binStream) error {
+	bc.streamsMu.Lock()
+	defer bc.streamsMu.Unlock()
+	if bc.closed {
+		return errStreamAborted
+	}
+	if _, dup := bc.streams[id]; dup {
+		return fmt.Errorf("%w: stream id %d already active", wire.ErrMalformed, id)
+	}
+	bc.streams[id] = st
+	return nil
+}
+
+func (bc *binConn) unregisterStream(id uint32) {
+	bc.streamsMu.Lock()
+	delete(bc.streams, id)
+	bc.streamsMu.Unlock()
+}
+
+// abortStreams wakes every parked stream worker on connection teardown.
+func (bc *binConn) abortStreams() {
+	bc.streamsMu.Lock()
+	bc.closed = true
+	for id, st := range bc.streams {
+		close(st.done)
+		delete(bc.streams, id)
+	}
+	bc.streamsMu.Unlock()
+}
+
+// grantCredit applies an OpCredit frame. Grants for unknown stream ids
+// are dropped silently: the stream may have finished (or failed) while
+// the grant was in flight, which is a benign race, not a protocol error.
+func (bc *binConn) grantCredit(id uint32, body []byte) {
+	g, err := wire.DecodeCreditGrant(body)
+	if err != nil {
+		bc.srv.bin.protoErrors.Add(1)
+		bc.writeError(id, wire.ErrCodeBadRequest, err.Error())
+		return
+	}
+	bc.streamsMu.Lock()
+	st := bc.streams[id]
+	bc.streamsMu.Unlock()
+	if st != nil && g.N > 0 {
+		st.grant(g.N)
+	}
+}
+
+func (bc *binConn) handleSampleStream(h wire.Header, body []byte) error {
+	m, err := wire.DecodeSampleReq(body, true)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	req := sampleRequestFrom(h, m, true)
+	if err := bc.validateSample(req); err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	draw, err := bc.srv.chunkDrawer(req)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	st := &binStream{notify: make(chan struct{}, 1), done: make(chan struct{})}
+	st.credit.Store(int64(m.Credit))
+	if err := bc.registerStream(h.RequestID, st); err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	defer bc.unregisterStream(h.RequestID)
+	bc.srv.bin.streamsActive.Add(1)
+	defer bc.srv.bin.streamsActive.Add(-1)
+
+	var rng *rand.Rand
+	if req.Uniform {
+		rng = bc.srv.rng()
+		defer bc.srv.putRNG(rng)
+	}
+	for drawn := 0; drawn < req.N; {
+		want := req.N - drawn
+		if want > bc.srv.cfg.StreamChunk {
+			want = bc.srv.cfg.StreamChunk
+		}
+		n, err := st.take(want, bc.srv.cfg.StreamWriteTimeout, &bc.srv.bin.creditStalls)
+		if err != nil {
+			if errors.Is(err, errStreamStarved) {
+				bc.writeError(h.RequestID, wire.ErrCodeTimeout, err.Error())
+			}
+			return err
+		}
+		ids, err := draw(n, rng)
+		if err != nil {
+			return bc.fail(h.RequestID, err)
+		}
+		var flags byte
+		// The drawer may return fewer ids than asked (false-positive
+		// descents); progress is counted by the ask, matching the NDJSON
+		// path's accounting, so the stream always terminates.
+		drawn += n
+		if drawn >= req.N {
+			flags = wire.FlagFinal
+		}
+		if err := bc.writeFrame(wire.OpSampleChunk, flags, h.RequestID, wire.SampleChunk{IDs: ids}.Encode(nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bc *binConn) handleReconstruct(h wire.Header, body []byte) error {
+	m, err := wire.DecodeReconstructReq(body)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	if m.Key == "" {
+		return bc.fail(h.RequestID, errf(400, "missing key"))
+	}
+	ids, err := bc.srv.reconstructIDs(m.Key, h.Flags&wire.FlagDynamic != 0)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	return bc.writeFrame(wire.OpIDsResult, 0, h.RequestID, wire.IDsResult{IDs: ids}.Encode(nil))
+}
+
+func (bc *binConn) handleIntersection(h wire.Header, body []byte) error {
+	m, err := wire.DecodeIntersectionReq(body)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	if m.KeyA == "" || m.KeyB == "" {
+		return bc.fail(h.RequestID, errf(400, "missing key_a or key_b"))
+	}
+	est, err := bc.srv.db.IntersectionEstimate(m.KeyA, m.KeyB)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	return bc.writeFrame(wire.OpEstimateResult, 0, h.RequestID, wire.EstimateResult{Estimate: est}.Encode(nil))
+}
+
+func (bc *binConn) handleAdd(h wire.Header, body []byte) error {
+	m, err := wire.DecodeAddReq(body)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	if len(m.Sets) == 0 {
+		return bc.fail(h.RequestID, errf(400, "empty add request"))
+	}
+	if len(m.Sets) > bc.srv.cfg.MaxBatchSets {
+		return bc.fail(h.RequestID, errf(413, "%d sets exceed the batch limit %d", len(m.Sets), bc.srv.cfg.MaxBatchSets))
+	}
+	total := 0
+	writes := make([]setdb.Write, len(m.Sets))
+	for i, set := range m.Sets {
+		if set.Key == "" {
+			return bc.fail(h.RequestID, errf(400, "sets[%d]: missing key", i))
+		}
+		total += len(set.IDs)
+		writes[i] = setdb.Write{Key: set.Key, IDs: set.IDs, Dynamic: set.Dynamic}
+	}
+	if total > bc.srv.cfg.MaxBatch {
+		return bc.fail(h.RequestID, errf(413, "%d ids exceed the batch limit %d", total, bc.srv.cfg.MaxBatch))
+	}
+	if err := bc.srv.db.ApplyBatch(writes); err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	ack := wire.AckResult{Count: uint64(total), Keys: uint64(len(m.Sets))}
+	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
+}
+
+func (bc *binConn) handleRemove(h wire.Header, body []byte) error {
+	m, err := wire.DecodeRemoveReq(body)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	if m.Key == "" {
+		return bc.fail(h.RequestID, errf(400, "missing key"))
+	}
+	if len(m.IDs) > bc.srv.cfg.MaxBatch {
+		return bc.fail(h.RequestID, errf(413, "%d ids exceed the batch limit %d", len(m.IDs), bc.srv.cfg.MaxBatch))
+	}
+	if err := bc.srv.db.RemoveDynamic(m.Key, m.IDs...); err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	ack := wire.AckResult{Count: uint64(len(m.IDs)), Keys: 1}
+	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
+}
+
+func (bc *binConn) handleStats(h wire.Header) error {
+	doc, err := json.Marshal(bc.srv.statsResponse())
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	return bc.writeFrame(wire.OpStatsResult, 0, h.RequestID, wire.StatsResult{JSON: doc}.Encode(nil))
+}

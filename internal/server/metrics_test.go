@@ -1,0 +1,77 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketForNS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{500 * time.Nanosecond, 0},             // <1µs
+		{time.Microsecond, 1},                  // [1µs, 2µs)
+		{3 * time.Microsecond, 2},              // [2µs, 4µs)
+		{time.Millisecond, 10},                 // [512µs, 1024µs)
+		{time.Second, 20},                      // [~0.5s, ~1.05s)
+		{10 * time.Minute, latencyBuckets - 1}, // overflow
+	}
+	for _, tc := range cases {
+		if got := bucketForNS(uint64(tc.d.Nanoseconds())); got != tc.want {
+			t.Errorf("bucketForNS(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var m endpointMetrics
+	// 90 fast requests at ~1ms, 10 slow at ~100ms: p50 must sit in the
+	// 1ms bucket, p99 in the 100ms bucket.
+	for i := 0; i < 90; i++ {
+		m.observe(time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		m.observe(100*time.Millisecond, false)
+	}
+	st := m.snapshot(time.Second)
+	if st.Requests != 100 || st.Errors != 0 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.P50LatencyUS < 512 || st.P50LatencyUS > 1024 {
+		t.Errorf("p50 %.0fµs outside the 1ms bucket [512,1024)", st.P50LatencyUS)
+	}
+	// 100ms = 102400µs → bucket [65536µs, 131072µs).
+	if st.P99LatencyUS < 65536 || st.P99LatencyUS > 131072 {
+		t.Errorf("p99 %.0fµs outside the 100ms bucket [65536,131072)", st.P99LatencyUS)
+	}
+	if st.P99LatencyUS < st.P50LatencyUS {
+		t.Errorf("p99 %.0f < p50 %.0f", st.P99LatencyUS, st.P50LatencyUS)
+	}
+	if st.MaxLatencyUS < 100_000 {
+		t.Errorf("max %.0fµs, want ≥ 100000", st.MaxLatencyUS)
+	}
+}
+
+func TestShedCountsOutsideHistogram(t *testing.T) {
+	var m endpointMetrics
+	m.observe(time.Millisecond, false)
+	m.observeShed()
+	st := m.snapshot(time.Second)
+	if st.Requests != 2 || st.Errors != 1 || st.Shed != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	// The shed's ~0 latency must not drag the percentiles: only the one
+	// served request is in the histogram.
+	if st.P50LatencyUS < 512 {
+		t.Errorf("p50 %.0fµs polluted by shed fast-path", st.P50LatencyUS)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var m endpointMetrics
+	st := m.snapshot(time.Second)
+	if st.P50LatencyUS != 0 || st.P99LatencyUS != 0 || st.AvgLatencyUS != 0 {
+		t.Fatalf("zero-request snapshot: %+v", st)
+	}
+}

@@ -42,6 +42,9 @@ const (
 	DefaultMaxStreamBatch = 10_000_000
 	DefaultMaxBodyBytes   = 1 << 20
 	DefaultMaxBatchSets   = 1_000
+	DefaultMaxInFlight    = 1024
+	DefaultConnWindow     = 32
+	DefaultMaxWrites      = 128
 )
 
 // Config bounds and seeds a Server. The zero value gets sensible
@@ -73,6 +76,26 @@ type Config struct {
 	// (default 30s): a client reading too slowly fails its stream instead
 	// of pinning a handler goroutine for the server's lifetime.
 	StreamWriteTimeout time.Duration
+	// MaxInFlight is the admission-control budget: the number of requests
+	// (HTTP and binary combined) the server will work on at once (default
+	// DefaultMaxInFlight). Arrivals beyond it are shed immediately — 503
+	// over HTTP, a BUSY frame over the binary protocol — instead of
+	// queueing, so overload degrades into fast rejections rather than
+	// growing latency for everyone.
+	MaxInFlight int
+	// MaxWrites sub-budgets the write endpoints (add/remove, both
+	// protocols; default DefaultMaxWrites): each write holds shard
+	// mutexes through its group-commit build, so a write flood would
+	// otherwise convoy behind the commit path while still consuming the
+	// whole global budget. Exhaustion sheds the write, not the readers.
+	MaxWrites int
+	// ConnWindow is the per-connection in-flight window of the binary
+	// protocol (default DefaultConnWindow): one connection may have at
+	// most this many requests being processed (a stream counts as one
+	// until its final chunk). The window is the protocol's connection-
+	// level backpressure — a single pipelining client saturates its own
+	// window and gets BUSY frames, not the whole server's budget.
+	ConnWindow int
 	// Seed makes uniform-mode sampling deterministic-ish for tests (each
 	// uniform request's rng derives from it); the plain/dynamic batch
 	// paths seed their workers internally. 0 seeds from the clock.
@@ -100,6 +123,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamWriteTimeout <= 0 {
 		c.StreamWriteTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxWrites <= 0 {
+		c.MaxWrites = DefaultMaxWrites
+	}
+	if c.ConnWindow <= 0 {
+		c.ConnWindow = DefaultConnWindow
 	}
 	if c.Seed == 0 {
 		c.Seed = uint64(time.Now().UnixNano())
@@ -130,6 +162,15 @@ type Server struct {
 	// seed so pooled misses never collide.
 	rngs sync.Pool
 	seq  atomic.Uint64
+
+	// Admission gates, shared by the HTTP and binary listeners: inflight
+	// is the global work budget, writeGate the tighter write sub-budget.
+	// Both are non-blocking — a failed acquire sheds the request.
+	inflight  *gate
+	writeGate *gate
+
+	// bin is the binary-protocol listener state (nil until ServeBinary).
+	bin binState
 }
 
 // New builds a Server over db.
@@ -145,12 +186,17 @@ func New(db *setdb.DB, cfg Config) *Server {
 		n := s.seq.Add(1)
 		return rand.New(rand.NewSource(int64(s.cfg.Seed ^ n*0x9E3779B97F4A7C15)))
 	}
-	s.route("/v1/sample", http.MethodPost, s.handleSample)
-	s.route("/v1/reconstruct", http.MethodPost, s.handleReconstruct)
-	s.route("/v1/intersection", http.MethodPost, s.handleIntersection)
-	s.route("/v1/add", http.MethodPost, s.handleAdd)
-	s.route("/v1/remove", http.MethodPost, s.handleRemove)
-	s.route("/v1/stats", http.MethodGet, s.handleStats)
+	s.inflight = newGate(s.cfg.MaxInFlight)
+	s.writeGate = newGate(s.cfg.MaxWrites)
+	s.route("/v1/sample", http.MethodPost, s.handleSample, false)
+	s.route("/v1/reconstruct", http.MethodPost, s.handleReconstruct, false)
+	s.route("/v1/intersection", http.MethodPost, s.handleIntersection, false)
+	s.route("/v1/add", http.MethodPost, s.handleAdd, true)
+	s.route("/v1/remove", http.MethodPost, s.handleRemove, true)
+	s.route("/v1/stats", http.MethodGet, s.handleStats, false)
+	for _, op := range binEndpoints {
+		s.metrics[op] = &endpointMetrics{}
+	}
 	return s
 }
 
@@ -199,11 +245,31 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// route registers one endpoint with method gating and metrics.
-func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error) {
+// route registers one endpoint with method gating, admission control
+// and metrics. isWrite endpoints additionally pass the write sub-budget.
+func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error, isWrite bool) {
 	m := &endpointMetrics{}
 	s.metrics[path] = m
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		// Admission first, before reading the body: a shed request should
+		// cost the server nothing but the rejection write. 503 (not 429)
+		// because the condition is server saturation, not client quota.
+		if !s.inflight.tryAcquire() {
+			m.observeShed()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server at capacity, request shed"})
+			return
+		}
+		defer s.inflight.release()
+		if isWrite {
+			if !s.writeGate.tryAcquire() {
+				m.observeShed()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "write path at capacity, request shed"})
+				return
+			}
+			defer s.writeGate.release()
+		}
 		start := time.Now()
 		var err error
 		if r.Method != method {
@@ -527,32 +593,41 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	if req.Key == "" {
 		return errf(http.StatusBadRequest, "missing key")
 	}
-	// Pin the published filter version, and bound the response: a
-	// reconstruction buffers the whole set (plus its JSON) in memory, so
-	// it obeys the same cap as a buffered sample batch.
+	ids, err := s.reconstructIDs(req.Key, req.Dynamic)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, ReconstructResponse{Key: req.Key, Count: len(ids), IDs: ids})
+	return nil
+}
+
+// reconstructIDs is the shared reconstruction path of both protocols:
+// pin the published filter version, bound the response (a reconstruction
+// buffers the whole set in memory, so it obeys the same cap as a
+// buffered sample batch), reconstruct.
+func (s *Server) reconstructIDs(key string, dynamic bool) ([]uint64, error) {
 	var f *bloom.Filter
-	if req.Dynamic {
-		snap, err := s.db.SnapshotDynamic(req.Key)
+	if dynamic {
+		snap, err := s.db.SnapshotDynamic(key)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		f = snap
-	} else if f = s.db.Filter(req.Key); f == nil {
-		return fmt.Errorf("%w %q", setdb.ErrNoSet, req.Key)
+	} else if f = s.db.Filter(key); f == nil {
+		return nil, fmt.Errorf("%w %q", setdb.ErrNoSet, key)
 	}
 	if est := f.EstimateCardinality(); est > float64(s.cfg.MaxBatch) {
-		return errf(http.StatusRequestEntityTooLarge,
-			"set %q holds an estimated %.0f elements, above the %d reconstruction limit", req.Key, est, s.cfg.MaxBatch)
+		return nil, errf(http.StatusRequestEntityTooLarge,
+			"set %q holds an estimated %.0f elements, above the %d reconstruction limit", key, est, s.cfg.MaxBatch)
 	}
 	ids, err := s.db.Tree().Reconstruct(f, core.PruneByEstimate, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if ids == nil {
 		ids = []uint64{}
 	}
-	writeJSON(w, http.StatusOK, ReconstructResponse{Key: req.Key, Count: len(ids), IDs: ids})
-	return nil
+	return ids, nil
 }
 
 // IntersectionRequest names the two stored sets to compare.
@@ -763,16 +838,44 @@ type OptionsStats struct {
 	Pruned    bool   `json:"pruned"`
 }
 
+// WireStats is the binary-listener and admission-control view within
+// /v1/stats: connection counts, frame traffic, stream flow control and
+// shed totals. InFlight/WritesInFlight are point-in-time gate
+// occupancies; the rest are lifetime counters.
+type WireStats struct {
+	ConnsActive    int64  `json:"conns_active"`
+	ConnsTotal     uint64 `json:"conns_total"`
+	FramesIn       uint64 `json:"frames_in"`
+	FramesOut      uint64 `json:"frames_out"`
+	StreamsActive  int64  `json:"streams_active"`
+	CreditStalls   uint64 `json:"credit_stalls"` // stream pauses waiting for client credit
+	ProtocolErrors uint64 `json:"protocol_errors"`
+	Shed           uint64 `json:"shed"` // BUSY frames sent (admission control)
+	InFlight       int    `json:"in_flight"`
+	MaxInFlight    int    `json:"max_in_flight"`
+	WritesInFlight int    `json:"writes_in_flight"`
+	MaxWrites      int    `json:"max_writes"`
+	ConnWindow     int    `json:"conn_window"`
+}
+
 // StatsResponse is the full /v1/stats payload.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Options       OptionsStats             `json:"options"`
 	DB            DBStats                  `json:"db"`
+	Wire          WireStats                `json:"wire"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Samplers      map[string]SamplerStats  `json:"samplers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.statsResponse())
+	return nil
+}
+
+// statsResponse assembles the stats document served by both GET
+// /v1/stats and the binary OpStats — one schema, two framings.
+func (s *Server) statsResponse() StatsResponse {
 	st := s.db.Stats()
 	// One clock read: the QPS denominators below must agree with the
 	// uptime field they ship with.
@@ -825,6 +928,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			resp.DB.SubtreeEpochs++
 		}
 	}
+	resp.Wire = WireStats{
+		ConnsActive:    s.bin.connsActive.Load(),
+		ConnsTotal:     s.bin.connsTotal.Load(),
+		FramesIn:       s.bin.framesIn.Load(),
+		FramesOut:      s.bin.framesOut.Load(),
+		StreamsActive:  s.bin.streamsActive.Load(),
+		CreditStalls:   s.bin.creditStalls.Load(),
+		ProtocolErrors: s.bin.protoErrors.Load(),
+		Shed:           s.bin.shed.Load(),
+		InFlight:       s.inflight.inUse(),
+		MaxInFlight:    s.cfg.MaxInFlight,
+		WritesInFlight: s.writeGate.inUse(),
+		MaxWrites:      s.cfg.MaxWrites,
+		ConnWindow:     s.cfg.ConnWindow,
+	}
 	for path, m := range s.metrics {
 		resp.Endpoints[path] = m.snapshot(uptime)
 	}
@@ -852,6 +970,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		}
 		return true
 	})
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return resp
 }
