@@ -37,11 +37,16 @@
 // Quick start:
 //
 //	plan, _ := bloomsample.Plan(0.9, 1000, 1_000_000, 3)        // accuracy, |set|, |namespace|, k
-//	tree, _ := bloomsample.NewTree(plan, bloomsample.Fast, 42)
+//	tree, _ := bloomsample.NewTreeWith(plan, bloomsample.WithSeed(42))
 //	q := tree.NewQueryFilter()
 //	q.Add(123); q.Add(456)                                       // store a set
 //	x, _ := tree.Sample(q, rng, nil)                             // draw a sample
 //	set, _ := tree.Reconstruct(q, bloomsample.PruneByEstimate, nil)
+//
+// Construction is options-based (see Option and the With* functions):
+// databases open with Open(namespace, ...Option), which plans the
+// filter profile from WithAccuracy and selects the deletable-set
+// backend — counting Bloom or cuckoo filter — with WithBackend.
 //
 // The two baselines the paper compares against (DictionaryAttack and
 // HashInvert) are exported for benchmarking and for the niches where they
@@ -137,15 +142,20 @@ func CalibrateCosts(kind HashKind, m uint64, k int, iters int) (CostEstimate, er
 // NewTree builds the full BloomSampleTree for the plan: every node stores
 // its entire namespace range (Definition 5.1 of the paper). Build once,
 // query with any number of filters created via Tree.NewQueryFilter.
+//
+// Deprecated: use NewTreeWith(plan, WithHash(kind), WithSeed(seed)).
 func NewTree(plan TreePlan, kind HashKind, seed uint64) (*Tree, error) {
-	return core.BuildTree(plan.TreeConfig(kind, seed))
+	return NewTreeWith(plan, WithHash(kind), WithSeed(seed))
 }
 
 // NewPrunedTree builds a Pruned-BloomSampleTree over only the occupied
 // identifiers (§5.2): nodes whose ranges contain no occupied id are not
 // allocated, and Tree.Insert grows the tree as occupancy grows.
+//
+// Deprecated: use NewPrunedTreeWith(plan, occupied, WithHash(kind),
+// WithSeed(seed)).
 func NewPrunedTree(plan TreePlan, kind HashKind, seed uint64, occupied []uint64) (*Tree, error) {
-	return core.BuildPruned(plan.TreeConfig(kind, seed), occupied)
+	return NewPrunedTreeWith(plan, occupied, WithHash(kind), WithSeed(seed))
 }
 
 // NewTreeFromConfig builds a full tree from an explicit configuration,
@@ -161,12 +171,10 @@ func NewPrunedTreeFromConfig(cfg TreeConfig, occupied []uint64) (*Tree, error) {
 // NewFilter returns an empty Bloom filter with the given parameters. Use
 // Tree.NewQueryFilter instead when the filter will be queried against a
 // tree, which guarantees parameter compatibility.
+//
+// Deprecated: use NewFilterWith(m, k, WithHash(kind), WithSeed(seed)).
 func NewFilter(kind HashKind, m uint64, k int, seed uint64) (*Filter, error) {
-	fam, err := hashfam.New(kind, m, k, seed)
-	if err != nil {
-		return nil, err
-	}
-	return bloom.New(fam), nil
+	return NewFilterWith(m, k, WithHash(kind), WithSeed(seed))
 }
 
 // DictionaryAttack is the brute-force baseline: O(M) membership queries
@@ -232,7 +240,11 @@ type SetDBSampler = setdb.Sampler
 // snapshot per touched shard instead of one per key, all-or-nothing.
 type SetDBWrite = setdb.Write
 
-// OpenSetDB creates an empty set database.
+// OpenSetDB creates an empty set database from explicit options.
+//
+// Deprecated: use Open(namespace, ...Option), which plans the filter
+// profile and takes the backend, hash and tree knobs as options.
+// OpenSetDB remains the escape hatch for fully hand-built Options.
 func OpenSetDB(opts SetDBOptions) (*SetDB, error) { return setdb.Open(opts) }
 
 // PlanSetDB derives SetDB options from a desired sampling accuracy.
@@ -254,8 +266,14 @@ func UnmarshalFilter(data []byte) (*Filter, error) { return bloom.UnmarshalFilte
 // goroutines (workers <= 0 means GOMAXPROCS); the result is identical to
 // NewTree. Useful at paper-scale namespaces, where construction is a
 // pure hash pass.
+//
+// Deprecated: use NewTreeWith(plan, WithHash(kind), WithSeed(seed),
+// WithWorkers(workers)).
 func NewTreeParallel(plan TreePlan, kind HashKind, seed uint64, workers int) (*Tree, error) {
-	return core.BuildTreeParallel(plan.TreeConfig(kind, seed), workers)
+	if workers <= 0 {
+		workers = -1 // force the parallel build path with GOMAXPROCS
+	}
+	return NewTreeWith(plan, WithHash(kind), WithSeed(seed), WithWorkers(workers))
 }
 
 // LoadTree reads a tree written by (*Tree).Save.
@@ -272,10 +290,10 @@ type CountingFilter = bloom.CountingFilter
 
 // NewCountingFilter returns an empty counting filter with the given
 // parameters.
+//
+// Deprecated: use NewCountingFilterWith(m, k, WithHash(kind),
+// WithSeed(seed)), or NewDynamicMembership to pick the backend by
+// option.
 func NewCountingFilter(kind HashKind, m uint64, k int, seed uint64) (*CountingFilter, error) {
-	fam, err := hashfam.New(kind, m, k, seed)
-	if err != nil {
-		return nil, err
-	}
-	return bloom.NewCounting(fam), nil
+	return NewCountingFilterWith(m, k, WithHash(kind), WithSeed(seed))
 }

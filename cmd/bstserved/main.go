@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/membership"
 	"repro/internal/server"
 	"repro/internal/setdb"
 )
@@ -58,6 +59,7 @@ func main() {
 		accuracy  = flag.Float64("accuracy", 0.9, "design sampling accuracy for a fresh database")
 		k         = flag.Int("k", 3, "hash functions for a fresh database")
 		pruned    = flag.Bool("pruned", true, "use a pruned tree for a fresh database (grows on demand)")
+		backend   = flag.String("backend", "", "dynamic-set membership backend for a fresh database: counting (default) or cuckoo")
 		demo      = flag.Int("demo", 0, "preload a plain set 'demo' with this many random ids (0: none)")
 		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest buffered sample n / add-remove id batch / reconstruction accepted (0: default)")
 		maxSets   = flag.Int("max-batch-sets", server.DefaultMaxBatchSets, "largest number of sets in one batch /v1/add request (0: default)")
@@ -70,10 +72,12 @@ func main() {
 	)
 	flag.Parse()
 
-	db, err := openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned)
+	db, err := openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
 	if err != nil {
 		log.Fatalf("bstserved: %v", err)
 	}
+	bk := db.Stats().Backend
+	log.Printf("membership backend: %s (%d dynamic entries, %d bytes)", bk.Kind, bk.Entries, bk.MemoryBytes)
 	if *demo > 0 {
 		rng := rand.New(rand.NewSource(1))
 		ids := make([]uint64, *demo)
@@ -178,14 +182,20 @@ func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.D
 }
 
 // openDB loads the database file (plus occupied ids for pruned trees) or
-// creates a fresh one from the planning flags.
-func openDB(dbPath, idsPath string, namespace, setSize uint64, accuracy float64, k int, pruned bool) (*setdb.DB, error) {
+// creates a fresh one from the planning flags. The backend flag applies
+// only to fresh databases — a loaded file carries its own backend kind.
+func openDB(dbPath, idsPath string, namespace, setSize uint64, accuracy float64, k int, pruned bool, backend string) (*setdb.DB, error) {
 	if dbPath == "" {
 		opts, err := setdb.PlanOptions(accuracy, setSize, namespace, k)
 		if err != nil {
 			return nil, err
 		}
 		opts.Pruned = pruned
+		kind, err := membership.ParseKind(backend)
+		if err != nil {
+			return nil, err
+		}
+		opts.Backend = kind
 		return setdb.Open(opts)
 	}
 	var occupied []uint64

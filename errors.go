@@ -1,0 +1,50 @@
+package bloomsample
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/setdb"
+)
+
+// Error taxonomy. Every sentinel an operation can wrap is re-exported
+// here so callers never import internal packages to errors.Is against
+// them. The served layers map the same sentinels onto response codes —
+// one taxonomy across the library, HTTP/JSON and the binary wire
+// protocol (whose OpError code field reuses the HTTP status numbers):
+//
+//	ErrNoSet                            → 404 Not Found
+//	ErrKeyClash, ErrNotMember,
+//	ErrSamplerInvalid                   → 409 Conflict
+//	ErrOutOfRange                       → 400 Bad Request
+//	anything else                       → 500 Internal Server Error
+//
+// ErrNoSample and ErrIncompatible never cross the server boundary:
+// ErrNoSample is a per-draw outcome the batch endpoints simply skip,
+// and incompatible filters cannot be constructed through a database.
+var (
+	// ErrNoSet is wrapped by the error every SetDB query or removal
+	// returns for an absent key.
+	ErrNoSet = setdb.ErrNoSet
+
+	// ErrKeyClash is wrapped by SetDB writes when the key already exists
+	// with the other storage kind (a key is either plain or dynamic,
+	// never both).
+	ErrKeyClash = setdb.ErrKeyClash
+
+	// ErrOutOfRange is wrapped by SetDB writes carrying an id outside
+	// the database namespace — a caller mistake, not an internal
+	// failure.
+	ErrOutOfRange = setdb.ErrOutOfRange
+
+	// ErrSamplerInvalid is returned by a SetDBSampler whose set was
+	// deleted or replaced; obtain a fresh sampler.
+	ErrSamplerInvalid = setdb.ErrSamplerInvalid
+
+	// ErrNotMember is wrapped by dynamic removals of an id that is not
+	// currently a member; the set is left unchanged (removals are
+	// all-or-nothing).
+	ErrNotMember = bloom.ErrNotMember
+
+	// ErrIncompatible is returned by filter compositions (union,
+	// intersection, estimators) over filters with different parameters.
+	ErrIncompatible = bloom.ErrIncompatible
+)

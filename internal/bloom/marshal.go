@@ -46,6 +46,72 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// Binary encoding of a CountingFilter: the same family header as a plain
+// filter (magic "BSC1") followed by the raw counter array.
+//
+//	magic   [4]byte  "BSC1"
+//	kind    uint8    length of the family-kind string
+//	        []byte   family kind
+//	m       uint64   counter array length
+//	k       uint32   hash functions
+//	seed    uint64   family seed
+//	n       uint64   live insertion count
+//	counts  []byte   m 8-bit counters
+const countingMagic = "BSC1"
+
+// MarshalBinary encodes the counting filter, including its hash-family
+// parameters.
+func (c *CountingFilter) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(countingMagic)
+	kind := string(c.fam.Kind())
+	if len(kind) > 255 {
+		return nil, fmt.Errorf("bloom: family kind %q too long", kind)
+	}
+	buf.WriteByte(byte(len(kind)))
+	buf.WriteString(kind)
+	var hdr [28]byte
+	binary.LittleEndian.PutUint64(hdr[0:], c.M())
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.K()))
+	binary.LittleEndian.PutUint64(hdr[12:], c.fam.Seed())
+	binary.LittleEndian.PutUint64(hdr[20:], c.n)
+	buf.Write(hdr[:])
+	buf.Write(c.counts)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCounting decodes a counting filter produced by its
+// MarshalBinary, reconstructing the hash family from the embedded
+// parameters.
+func UnmarshalCounting(data []byte) (*CountingFilter, error) {
+	if len(data) < len(countingMagic)+1 || string(data[:4]) != countingMagic {
+		return nil, fmt.Errorf("bloom: bad counting magic")
+	}
+	data = data[4:]
+	kl := int(data[0])
+	if len(data) < 1+kl+28 {
+		return nil, fmt.Errorf("bloom: truncated counting header")
+	}
+	kind := hashfam.Kind(data[1 : 1+kl])
+	data = data[1+kl:]
+	m := binary.LittleEndian.Uint64(data[0:])
+	k := binary.LittleEndian.Uint32(data[8:])
+	seed := binary.LittleEndian.Uint64(data[12:])
+	n := binary.LittleEndian.Uint64(data[20:])
+	data = data[28:]
+	if uint64(len(data)) != m {
+		return nil, fmt.Errorf("bloom: header m=%d but payload has %d counters", m, len(data))
+	}
+	fam, err := hashfam.New(kind, m, int(k), seed)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: decoding family: %w", err)
+	}
+	c := NewCounting(fam)
+	copy(c.counts, data)
+	c.n = n
+	return c, nil
+}
+
 // UnmarshalFilter decodes a filter produced by MarshalBinary,
 // reconstructing its hash family from the embedded parameters.
 func UnmarshalFilter(data []byte) (*Filter, error) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/bloom"
 	"repro/internal/hashfam"
+	"repro/internal/membership"
 )
 
 // Binary encoding of a Tree. Building a BloomSampleTree costs one hash
@@ -72,7 +73,7 @@ func writeNode(w *bufio.Writer, n *node) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	bits, err := n.filter().Bits().MarshalBinary()
+	bits, err := n.filter().QueryView().Bits().MarshalBinary()
 	if err != nil {
 		return err
 	}
@@ -186,7 +187,7 @@ func readNode(r *bufio.Reader, t *Tree) (*node, uint64, error) {
 	if bits.Len() != t.cfg.Bits {
 		return nil, 0, fmt.Errorf("core: node filter has %d bits, tree expects %d", bits.Len(), t.cfg.Bits)
 	}
-	n.f.Store(bloom.NewFromBits(t.fam, &bits))
+	n.setFilter(membership.FromBloom(bloom.NewFromBits(t.fam, &bits)))
 	mask, err := r.ReadByte()
 	if err != nil {
 		return nil, 0, err

@@ -74,5 +74,5 @@ func (t *Tree) childAlive(child *node, q *bloom.Filter, rule PruneRule, ops *Ops
 	if rule == PruneByAndBits {
 		return child.filter().IntersectsAny(q)
 	}
-	return bloom.EstimateIntersectionOf(child.filter(), q) >= t.cfg.EmptyThreshold
+	return child.filter().IntersectionEstimate(q) >= t.cfg.EmptyThreshold
 }

@@ -112,7 +112,7 @@ func (t *Tree) childEstimate(child *node, q *bloom.Filter, ops *Ops) float64 {
 	if ops != nil {
 		ops.Intersections++
 	}
-	return bloom.EstimateIntersectionOf(child.filter(), q)
+	return child.filter().IntersectionEstimate(q)
 }
 
 // sampleLeaf brute-force checks the leaf's range against q and picks one

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/hashfam"
+	"repro/internal/membership"
 )
 
 // DefaultEmptyThreshold is the default estimated-intersection size below
@@ -89,22 +90,46 @@ func (c *Config) withDefaults() Config {
 // hi never change after the node is created.
 type node struct {
 	lo, hi      uint64
-	f           atomic.Pointer[bloom.Filter]
+	f           atomic.Pointer[boxedFilter]
 	left, right atomic.Pointer[node]
+}
+
+// boxedFilter boxes a Membership interface value behind a concrete
+// pointer: atomic.Pointer cannot hold interfaces directly, and boxing
+// happens only on publish (rare) while reads pay one extra dereference.
+type boxedFilter struct {
+	m membership.Membership
 }
 
 // newNode returns a node over [lo, hi) holding f (which may be nil during
 // private subtree construction).
-func newNode(lo, hi uint64, f *bloom.Filter) *node {
+func newNode(lo, hi uint64, f membership.Membership) *node {
 	n := &node{lo: lo, hi: hi}
 	if f != nil {
-		n.f.Store(f)
+		n.f.Store(&boxedFilter{f})
 	}
 	return n
 }
 
-// filter returns the node's current (immutable) filter.
-func (n *node) filter() *bloom.Filter { return n.f.Load() }
+// newNodeBloom wraps a plain Bloom filter — what tree construction
+// produces natively — as a node.
+func newNodeBloom(lo, hi uint64, f *bloom.Filter) *node {
+	if f == nil {
+		return newNode(lo, hi, nil)
+	}
+	return newNode(lo, hi, membership.FromBloom(f))
+}
+
+// filter returns the node's current (immutable) membership value.
+func (n *node) filter() membership.Membership {
+	if b := n.f.Load(); b != nil {
+		return b.m
+	}
+	return nil
+}
+
+// setFilter publishes a new membership value for the node.
+func (n *node) setFilter(m membership.Membership) { n.f.Store(&boxedFilter{m}) }
 
 // children loads both child pointers once; traversals load them into
 // locals so one visit sees one consistent pair (a node with neither

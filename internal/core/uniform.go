@@ -288,7 +288,7 @@ func (s *UniformSampler) childWeight(child *node, q *bloom.Filter, nHat float64,
 	if ops != nil {
 		ops.Intersections++
 	}
-	cf := child.filter()
+	cf := child.filter().QueryView()
 	m := cf.M()
 	k := cf.K()
 	t1 := cf.SetBits()

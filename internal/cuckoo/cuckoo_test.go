@@ -1,0 +1,213 @@
+package cuckoo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInsertContainsDelete(t *testing.T) {
+	f := New(1000, 42)
+	for i := uint64(0); i < 1000; i++ {
+		if err := f.Insert(i); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", f.Count())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !f.Delete(i) {
+			t.Fatalf("Delete(%d) found nothing", i)
+		}
+	}
+	if f.Count() != 500 {
+		t.Fatalf("Count after deletes = %d, want 500", f.Count())
+	}
+	// Remaining elements must still be present (no false negatives ever).
+	for i := uint64(500); i < 1000; i++ {
+		if !f.Contains(i) {
+			t.Fatalf("false negative for %d after unrelated deletes", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10_000
+	f := New(n, 7)
+	for i := uint64(0); i < n; i++ {
+		if err := f.Insert(i); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	fp := 0
+	const probes = 100_000
+	for i := uint64(0); i < probes; i++ {
+		if f.Contains(1_000_000 + i) {
+			fp++
+		}
+	}
+	// Theoretical bound ≈ 2b/2^f ≈ 0.012% at partial load; allow 10x slack.
+	if rate := float64(fp) / probes; rate > 0.0012 {
+		t.Fatalf("false positive rate %.5f exceeds bound", rate)
+	}
+}
+
+func TestFillToHighLoad(t *testing.T) {
+	f := New(1, 3) // minimal: 2 buckets, 8 slots — force growth pressure off
+	// A fresh filter sized for n should accept n inserts; push a bigger one
+	// well past the design load factor to exercise BFS eviction.
+	g := New(4096, 9)
+	rng := rand.New(rand.NewSource(11))
+	inserted := uint64(0)
+	for inserted < 4096 {
+		if err := g.Insert(rng.Uint64()); err != nil {
+			t.Fatalf("Insert at load %.3f: %v", g.LoadFactor(), err)
+		}
+		inserted++
+	}
+	if lf := g.LoadFactor(); lf < 0.5 {
+		t.Fatalf("load factor %.3f unexpectedly low", lf)
+	}
+	_ = f
+}
+
+func TestErrFullLeavesFilterIntact(t *testing.T) {
+	f := New(1, 5) // 8 slots
+	var members []uint64
+	var x uint64
+	for {
+		if err := f.Insert(x); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		members = append(members, x)
+		x++
+		if x > 1000 {
+			t.Fatal("tiny filter never filled")
+		}
+	}
+	// Failed insert must not have dropped any resident fingerprint.
+	for _, m := range members {
+		if !f.Contains(m) {
+			t.Fatalf("false negative for %d after failed insert", m)
+		}
+	}
+	if f.Count() != uint64(len(members)) {
+		t.Fatalf("Count = %d, want %d", f.Count(), len(members))
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	f := New(100, 1)
+	for i := uint64(0); i < 50; i++ {
+		if err := f.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := f.Clone()
+	if err := g.Insert(999); err != nil {
+		t.Fatal(err)
+	}
+	g.Delete(0)
+	if f.Contains(999) {
+		t.Fatal("insert into clone leaked into original")
+	}
+	if !f.Contains(0) {
+		t.Fatal("delete in clone leaked into original")
+	}
+	if f.Count() != 50 || g.Count() != 50 {
+		t.Fatalf("counts: original %d clone %d", f.Count(), g.Count())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(500, 77)
+	for i := uint64(0); i < 300; i++ {
+		if err := f.Insert(i * 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.Seed() != f.Seed() || g.Capacity() != f.Capacity() {
+		t.Fatal("metadata mismatch after round trip")
+	}
+	for i := uint64(0); i < 300; i++ {
+		if !g.Contains(i * 3) {
+			t.Fatalf("false negative for %d after round trip", i*3)
+		}
+	}
+	if _, err := Unmarshal(data[:10]); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+	data[0] = 'X'
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+}
+
+func TestAltIndexInvolution(t *testing.T) {
+	f := New(1024, 13)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		fp, i1 := f.fingerprintAndIndex(rng.Uint64())
+		i2 := f.altIndex(i1, fp)
+		if back := f.altIndex(i2, fp); back != i1 {
+			t.Fatalf("altIndex not involutive: %d -> %d -> %d (fp %d)", i1, i2, back, fp)
+		}
+	}
+}
+
+// FuzzInsertEvict drives inserts and deletes from fuzzed bytes and checks
+// the no-false-negative invariant plus count bookkeeping after every
+// operation, exercising the BFS eviction paths on small tables.
+func FuzzInsertEvict(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint64(3))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00}, uint64(99))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		cf := New(64, seed)
+		live := make(map[uint64]int)
+		var total uint64
+		for i, b := range ops {
+			x := uint64(b) % 97
+			if b&0x80 != 0 && live[x] > 0 {
+				if !cf.Delete(x) {
+					t.Fatalf("op %d: Delete(%d) failed for a live element", i, x)
+				}
+				live[x]--
+				total--
+			} else {
+				if err := cf.Insert(x); err != nil {
+					if !errors.Is(err, ErrFull) {
+						t.Fatalf("op %d: %v", i, err)
+					}
+					continue
+				}
+				live[x]++
+				total++
+			}
+			if cf.Count() != total {
+				t.Fatalf("op %d: Count=%d want %d", i, cf.Count(), total)
+			}
+			for m, c := range live {
+				if c > 0 && !cf.Contains(m) {
+					t.Fatalf("op %d: false negative for %d", i, m)
+				}
+			}
+		}
+	})
+}

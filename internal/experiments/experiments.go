@@ -209,6 +209,7 @@ func Registry() map[string]Runner {
 		"serving":         RunServing,
 		"writeamp":        RunWriteAmp,
 		"hash":            RunHash,
+		"backend":         RunBackend,
 	}
 }
 
@@ -221,7 +222,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency", "serving", "writeamp", "hash",
+		"concurrency", "serving", "writeamp", "hash", "backend",
 	}
 }
 

@@ -1,0 +1,253 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/hashfam"
+)
+
+// Conformance suite: every dynamic backend must satisfy the same
+// contract — add/contains/delete round-trips, immutable copy-on-write
+// versions (checked for real under -race), marshal round-trips through
+// the envelope, and a false-positive rate within the planned bound.
+// The table is the single place a new backend registers to inherit the
+// whole suite.
+
+var conformanceKinds = []Kind{KindCounting, KindCuckoo}
+
+func testFamily(t testing.TB) hashfam.Family {
+	t.Helper()
+	fam, err := hashfam.New(hashfam.DefaultKind, 1<<14, 3, 42)
+	if err != nil {
+		t.Fatalf("hashfam.New: %v", err)
+	}
+	return fam
+}
+
+func TestConformanceAddContainsDelete(t *testing.T) {
+	for _, kind := range conformanceKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			m, err := NewDynamic(kind, testFamily(t), 0)
+			if err != nil {
+				t.Fatalf("NewDynamic: %v", err)
+			}
+			if m.Backend() != kind {
+				t.Fatalf("Backend() = %q, want %q", m.Backend(), kind)
+			}
+			ids := []uint64{1, 7, 99, 1 << 40, 12345}
+			m2 := m.CloneAddDynamic(ids...)
+			for _, id := range ids {
+				if !m2.Contains(id) {
+					t.Fatalf("added id %d not contained", id)
+				}
+			}
+			if m2.Live() != uint64(len(ids)) {
+				t.Fatalf("Live() = %d, want %d", m2.Live(), len(ids))
+			}
+			m3, err := m2.CloneRemove(7, 99)
+			if err != nil {
+				t.Fatalf("CloneRemove: %v", err)
+			}
+			if m3.Contains(7) || m3.Contains(99) {
+				t.Fatal("removed ids still contained")
+			}
+			for _, id := range []uint64{1, 1 << 40, 12345} {
+				if !m3.Contains(id) {
+					t.Fatalf("remaining id %d lost by removal", id)
+				}
+			}
+			if m3.Live() != uint64(len(ids)-2) {
+				t.Fatalf("Live() after remove = %d, want %d", m3.Live(), len(ids)-2)
+			}
+			// Removing a non-member is an error and leaves the set intact
+			// (all-or-nothing): 7 was already removed.
+			if _, err := m3.CloneRemove(1, 7); err == nil {
+				t.Fatal("CloneRemove of non-member succeeded")
+			}
+			if !m3.Contains(1) {
+				t.Fatal("failed batch removal mutated the receiver")
+			}
+		})
+	}
+}
+
+func TestConformanceCopyOnWriteIsolation(t *testing.T) {
+	// A published version must never change under later clones. Readers
+	// hammer the original membership and its query view while a writer
+	// derives clone after clone; run with -race this doubles as a data
+	// race check on the clone paths.
+	for _, kind := range conformanceKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			base, err := NewDynamicWith(kind, testFamily(t), 0, []uint64{10, 20, 30})
+			if err != nil {
+				t.Fatalf("NewDynamicWith: %v", err)
+			}
+			view := base.QueryView()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if !base.Contains(10) || !base.Contains(20) || !base.Contains(30) {
+							t.Error("published version lost a member")
+							return
+						}
+						if base.Contains(555) {
+							t.Error("published version gained a member")
+							return
+						}
+						if !view.Contains(10) {
+							t.Error("query view lost a member")
+							return
+						}
+						if base.Live() != 3 {
+							t.Error("published version's Live changed")
+							return
+						}
+					}
+				}()
+			}
+			cur := base
+			for i := uint64(0); i < 200; i++ {
+				cur = cur.CloneAddDynamic(1000 + i)
+				if i%3 == 0 {
+					next, err := cur.CloneRemove(1000 + i)
+					if err != nil {
+						t.Fatalf("CloneRemove: %v", err)
+					}
+					cur = next
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if base.Contains(555) || base.Live() != 3 {
+				t.Fatal("base mutated by cloning")
+			}
+		})
+	}
+}
+
+func TestConformanceMarshalRoundTrip(t *testing.T) {
+	for _, kind := range conformanceKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			ids := []uint64{3, 5, 8, 13, 1 << 33}
+			m, err := NewDynamicWith(kind, testFamily(t), 0, ids)
+			if err != nil {
+				t.Fatalf("NewDynamicWith: %v", err)
+			}
+			m2, err := m.CloneRemove(8)
+			if err != nil {
+				t.Fatalf("CloneRemove: %v", err)
+			}
+			data, err := m2.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			got, err := UnmarshalDynamic(data)
+			if err != nil {
+				t.Fatalf("UnmarshalDynamic: %v", err)
+			}
+			if got.Backend() != kind {
+				t.Fatalf("decoded Backend() = %q, want %q", got.Backend(), kind)
+			}
+			if got.Live() != m2.Live() {
+				t.Fatalf("decoded Live() = %d, want %d", got.Live(), m2.Live())
+			}
+			for _, id := range []uint64{3, 5, 13, 1 << 33} {
+				if !got.Contains(id) {
+					t.Fatalf("decoded filter lost member %d", id)
+				}
+			}
+			// The decoded value must stay fully usable: add, remove,
+			// re-marshal.
+			got2 := got.CloneAddDynamic(777)
+			if !got2.Contains(777) {
+				t.Fatal("decoded filter rejects further adds")
+			}
+			if _, err := got2.MarshalBinary(); err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+		})
+	}
+}
+
+func TestConformanceFalsePositiveBound(t *testing.T) {
+	for _, kind := range conformanceKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			fam := testFamily(t)
+			const n = 1000
+			ids := make([]uint64, n)
+			for i := range ids {
+				ids[i] = uint64(i) * 2 // members even, probes odd
+			}
+			m, err := NewDynamicWith(kind, fam, n, ids)
+			if err != nil {
+				t.Fatalf("NewDynamicWith: %v", err)
+			}
+			const probes = 100_000
+			fp := 0
+			for i := 0; i < probes; i++ {
+				if m.Contains(uint64(i)*2 + 1) {
+					fp++
+				}
+			}
+			rate := float64(fp) / probes
+			// The counting filter realizes the planned Bloom rate; the
+			// cuckoo filter's 16-bit fingerprints are far below it. Allow
+			// 3x slack over the Bloom design rate for sampling noise.
+			bound := 3 * bloom.FalsePositiveRate(fam.M(), fam.K(), n)
+			if bound < 1e-3 {
+				bound = 1e-3
+			}
+			if rate > bound {
+				t.Fatalf("false-positive rate %.5f exceeds bound %.5f", rate, bound)
+			}
+		})
+	}
+}
+
+func TestConformanceQueryViewTracksAdds(t *testing.T) {
+	// The query view is the tree-facing projection: it must cover every
+	// live member after any sequence of adds (deletes may leave it an
+	// over-approximation, never an under-approximation).
+	for _, kind := range conformanceKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			m, err := NewDynamic(kind, testFamily(t), 0)
+			if err != nil {
+				t.Fatalf("NewDynamic: %v", err)
+			}
+			cur := m
+			for i := uint64(0); i < 500; i++ {
+				cur = cur.CloneAddDynamic(i * 3)
+				if i%5 == 4 {
+					next, err := cur.CloneRemove(i * 3)
+					if err != nil {
+						t.Fatalf("CloneRemove: %v", err)
+					}
+					cur = next
+				}
+			}
+			view := cur.QueryView()
+			for i := uint64(0); i < 500; i++ {
+				if i%5 == 4 {
+					continue // removed; the view may or may not cover it
+				}
+				if !cur.Contains(i * 3) {
+					t.Fatalf("live member %d lost", i*3)
+				}
+				if !view.Contains(i * 3) {
+					t.Fatalf("query view misses live member %d", i*3)
+				}
+			}
+		})
+	}
+}

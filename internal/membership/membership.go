@@ -1,0 +1,159 @@
+// Package membership defines the backend contract behind every set the
+// system stores: tree nodes in internal/core and shard entries in
+// internal/setdb hold Membership values instead of concrete Bloom
+// filters, so approximate-membership structures with different
+// memory/delete trade-offs (plain Bloom, counting Bloom, cuckoo) plug in
+// behind one interface. The paper's sampling machinery needs only a
+// small contract from each node — probe, batched probe, copy-on-write
+// add/remove, an intersection estimate against a query filter, and a
+// tagged serialization — and this package is that contract plus the
+// adapters for the backends the repository ships.
+//
+// The tree descent itself works on bit-level intersection estimates, a
+// Bloom-specific operation; backends whose native representation cannot
+// intersect bit vectors (the cuckoo filter stores fingerprints) expose a
+// QueryView: a plain Bloom projection of their contents used only to
+// steer the descent and size estimates. The cuckoo backend maintains its
+// view incrementally on CloneAdd and leaves it unchanged on CloneRemove,
+// making the view a monotone over-approximation — exactly the argument
+// the pruned tree already uses for node occupancy: a stale view can only
+// send the sampler down a branch that turns out empty (a performance
+// cost), never hide a live element (a correctness cost), because leaf
+// probes and Contains go through the backend's native, delete-aware
+// representation.
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/hashfam"
+)
+
+// Kind names a membership backend; it is embedded in the serialized form
+// and surfaced through stats.
+type Kind string
+
+const (
+	// KindBloom is a plain Bloom filter: cheapest probes and memory, no
+	// deletion. The only legal backend for static (plain) sets and tree
+	// nodes.
+	KindBloom Kind = "bloom"
+	// KindCounting is the counting Bloom filter: 8-bit counters, native
+	// delete, 8x a plain filter's memory.
+	KindCounting Kind = "counting"
+	// KindCuckoo is the cuckoo filter backend: 16-bit fingerprints in
+	// 4-slot buckets, native delete at roughly 2.4 bytes per live entry
+	// plus a plain-Bloom query view — well under the counting filter's
+	// one byte per filter *position*.
+	KindCuckoo Kind = "cuckoo"
+)
+
+// ParseKind validates a backend name from a flag or wire header.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindBloom, KindCounting, KindCuckoo:
+		return Kind(s), nil
+	case "":
+		return KindCounting, nil
+	}
+	return "", fmt.Errorf("membership: unknown backend kind %q (want bloom, counting or cuckoo)", s)
+}
+
+// Membership is the read-plus-COW-write contract every backend satisfies.
+// Values are immutable once published: CloneAdd returns a new value and
+// never mutates the receiver, so instances can sit behind atomic pointers
+// and be read without synchronization, the repository-wide discipline.
+type Membership interface {
+	// Backend identifies the concrete implementation.
+	Backend() Kind
+	// Contains reports whether id is a (possibly false) positive, through
+	// the backend's native representation — delete-aware where the
+	// backend supports deletion.
+	Contains(id uint64) bool
+	// ContainsBatch probes ids, writing results into out (len(ids)) and
+	// reusing scratch for position buffers where the backend hashes in
+	// batch (the PositionsMany path); it returns the possibly-grown
+	// scratch, preserving the caller-owned-scratch allocation contract.
+	ContainsBatch(ids []uint64, out []bool, scratch []uint64) []uint64
+	// Live returns the net number of stored elements (adds minus removes).
+	Live() uint64
+	// QueryView returns a plain Bloom projection of the contents for the
+	// tree descent and intersection estimates. For a Bloom backend this
+	// is the filter itself (free); other backends maintain or memoize a
+	// projection. The returned filter is shared — treat it as immutable.
+	QueryView() *bloom.Filter
+	// IntersectionEstimate estimates |self ∩ q| from bit-level overlap
+	// with the query filter (Papapetrou's inner-intersection estimator).
+	IntersectionEstimate(q *bloom.Filter) float64
+	// IntersectsAny reports whether any query bit overlaps the view.
+	IntersectsAny(q *bloom.Filter) bool
+	// CloneAdd returns a new Membership equal to the receiver with ids
+	// inserted. The receiver is never mutated.
+	CloneAdd(ids ...uint64) Membership
+	// SizeBytes returns the backend's resident memory, including any
+	// query-view projection it maintains.
+	SizeBytes() uint64
+	// MarshalBinary serializes the backend with an embedded kind tag
+	// (the "BSM1" envelope; see Unmarshal).
+	MarshalBinary() ([]byte, error)
+}
+
+// DynamicMembership extends Membership with deletion for the backends
+// that support it (counting, cuckoo).
+type DynamicMembership interface {
+	Membership
+	// CloneAddDynamic is CloneAdd with a dynamic static type, so writers
+	// on the dynamic path keep deletion capability without asserting.
+	CloneAddDynamic(ids ...uint64) DynamicMembership
+	// CloneRemove returns a new value with one insertion of each id
+	// removed, all-or-nothing: if any id is not a member, it returns an
+	// error wrapping bloom.ErrNotMember and no new value. The receiver is
+	// never mutated.
+	CloneRemove(ids ...uint64) (DynamicMembership, error)
+}
+
+// LoadFactorer is implemented by backends with a meaningful slot
+// occupancy (the cuckoo filter); stats report it when present.
+type LoadFactorer interface {
+	LoadFactor() float64
+}
+
+// NewDynamic creates an empty dynamic set of the given kind. The family
+// supplies the Bloom geometry (query view and, for counting, the counter
+// array); capacityHint sizes the cuckoo fingerprint table (the design
+// set size is the natural hint — the table stacks more capacity on
+// demand, so the hint is not a cap).
+func NewDynamic(kind Kind, fam hashfam.Family, capacityHint uint64) (DynamicMembership, error) {
+	return newDynamicWith(kind, fam, capacityHint, nil)
+}
+
+// NewDynamicWith creates a dynamic set pre-populated with ids in one
+// step, mutating only private state before first publication (cheaper
+// than NewDynamic followed by CloneAddDynamic, which clones the empty
+// value).
+func NewDynamicWith(kind Kind, fam hashfam.Family, capacityHint uint64, ids []uint64) (DynamicMembership, error) {
+	return newDynamicWith(kind, fam, capacityHint, ids)
+}
+
+func newDynamicWith(kind Kind, fam hashfam.Family, capacityHint uint64, ids []uint64) (DynamicMembership, error) {
+	switch kind {
+	case KindCounting:
+		c := bloom.NewCounting(fam)
+		for _, id := range ids {
+			c.Add(id)
+		}
+		return countingSet{c}, nil
+	case KindCuckoo:
+		return newCuckooSet(fam, capacityHint, ids), nil
+	case KindBloom:
+		return nil, fmt.Errorf("membership: backend %q cannot delete; use counting or cuckoo for dynamic sets", kind)
+	}
+	return nil, fmt.Errorf("membership: unknown backend kind %q", kind)
+}
+
+// FromBloom wraps a plain Bloom filter as a (static) Membership.
+func FromBloom(f *bloom.Filter) Membership { return bloomSet{f} }
+
+// FromCounting wraps a counting filter as a DynamicMembership.
+func FromCounting(c *bloom.CountingFilter) DynamicMembership { return countingSet{c} }

@@ -816,6 +816,10 @@ type DBStats struct {
 	TreeMemoryBytes         uint64  `json:"tree_memory_bytes"`
 	GrowthEpoch             uint64  `json:"growth_epoch"`
 	SubtreeEpochs           uint64  `json:"subtree_epochs_active"` // stripes with ≥1 completed epoch
+	// Backend is the dynamic-set membership backend descriptor: configured
+	// kind plus realized entries, memory, bits/entry and (cuckoo) load
+	// factor. setdb.BackendStats carries its own JSON tags.
+	Backend setdb.BackendStats `json:"backend"`
 }
 
 // SamplerStats is the calibration view of one cached uniform sampler.
@@ -898,6 +902,7 @@ func (s *Server) statsResponse() StatsResponse {
 			TreePruned:              st.TreePruned,
 			TreeMemoryBytes:         st.TreeMemoryBytes,
 			GrowthEpoch:             st.GrowthEpoch,
+			Backend:                 st.Backend,
 		},
 		Endpoints: map[string]EndpointStats{},
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bloom"
+	"repro/internal/membership"
 )
 
 // Group commit: the write-coalescing path. A single Add pays one chunk
@@ -17,7 +18,8 @@ import (
 
 // Write is one pending mutation for the group-commit path: insert IDs
 // into the set under Key, creating it on first use; Dynamic selects the
-// counting-filter (deletable) storage kind, exactly as AddDynamic does.
+// deletable storage kind backed by the database's configured membership
+// backend, exactly as AddDynamic does.
 //
 // Remove inverts the mutation, mirroring the single-write removal
 // surface. A dynamic remove (Remove with Dynamic set) removes one
@@ -124,7 +126,7 @@ func (db *DB) ApplyBatch(writes []Write) error {
 	type pendingShard struct {
 		si   int
 		sets *chunkBuilder[setEntry]
-		dyn  *chunkBuilder[*bloom.CountingFilter]
+		dyn  *chunkBuilder[membership.DynamicMembership]
 	}
 	pending := make([]pendingShard, 0, len(touched))
 	for _, si := range touched {
@@ -172,11 +174,11 @@ func (db *DB) ApplyBatch(writes []Write) error {
 					p.dyn = newChunkBuilder(cur.dynamic)
 				}
 				if c, ok := p.dyn.get(h, w.Key); ok {
-					p.dyn.set(h, w.Key, c.CloneAdd(w.IDs...))
+					p.dyn.set(h, w.Key, c.CloneAddDynamic(w.IDs...))
 				} else {
-					c := bloom.NewCounting(db.fam)
-					for _, id := range w.IDs {
-						c.Add(id)
+					c, err := db.newDynamic(w.IDs)
+					if err != nil {
+						return err
 					}
 					p.dyn.set(h, w.Key, c)
 				}
@@ -194,7 +196,7 @@ func (db *DB) ApplyBatch(writes []Write) error {
 				if e, ok := p.sets.get(h, w.Key); ok {
 					p.sets.set(h, w.Key, setEntry{f: e.f.CloneAdd(w.IDs...), gen: e.gen, ver: e.ver + 1})
 				} else {
-					p.sets.set(h, w.Key, setEntry{f: bloom.NewFromElements(db.fam, w.IDs), gen: db.gen.Add(1)})
+					p.sets.set(h, w.Key, setEntry{f: membership.FromBloom(bloom.NewFromElements(db.fam, w.IDs)), gen: db.gen.Add(1)})
 				}
 			}
 		}

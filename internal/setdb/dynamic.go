@@ -7,21 +7,25 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/membership"
 )
 
 // Dynamic sets: the paper's motivating applications track communities
 // whose membership changes over time (§1). A plain Bloom filter cannot
-// forget a member, so DB also supports counting-filter-backed sets: ids
-// can be removed, and queries run against a point-in-time snapshot
-// projected onto a plain filter compatible with the shared tree.
+// forget a member, so DB also supports deletable sets behind the
+// membership.DynamicMembership interface: ids can be removed, and
+// queries run against a point-in-time view compatible with the shared
+// tree. Options.Backend picks the implementation — the counting Bloom
+// filter (8-bit counters, 8× the plain filter's memory) or the cuckoo
+// filter (16-bit fingerprints, ~2.4 bytes per live entry plus a plain
+// query view).
 //
 // Dynamic sets live in a separate key space from plain sets (a key is
-// either plain or dynamic; mixing is an error) and cost 8× the filter
-// memory. They shard with the plain sets — a key's plain and dynamic
-// entries always live in the same shard snapshot — and they follow the
-// same copy-on-write discipline: mutations publish a fresh immutable
-// counting filter, so readers (and the memoized Snapshot projection)
-// never observe a set mid-update.
+// either plain or dynamic; mixing is an error). They shard with the
+// plain sets — a key's plain and dynamic entries always live in the same
+// shard snapshot — and they follow the same copy-on-write discipline:
+// mutations publish a fresh immutable membership value, so readers (and
+// any memoized query-view projection) never observe a set mid-update.
 
 // AddDynamic inserts ids into the dynamic (deletable) set under key,
 // creating it on first use. On a pruned database the shared tree grows
@@ -48,13 +52,14 @@ func (db *DB) AddDynamic(key string, ids ...uint64) error {
 	if _, clash := cur.sets.get(h, key); clash {
 		return fmt.Errorf("%w: %q already exists as a plain set", ErrKeyClash, key)
 	}
-	var next *bloom.CountingFilter
+	var next membership.DynamicMembership
 	if c, ok := cur.dynamic.get(h, key); ok {
-		next = c.CloneAdd(ids...)
+		next = c.CloneAddDynamic(ids...)
 	} else {
-		next = bloom.NewCounting(db.fam)
-		for _, id := range ids {
-			next.Add(id)
+		var err error
+		next, err = db.newDynamic(ids)
+		if err != nil {
+			return err
 		}
 	}
 	nextState, copied := cur.withDynamic(h, key, next)
@@ -106,15 +111,26 @@ func (db *DB) ContainsDynamic(key string, id uint64) (bool, error) {
 
 // SnapshotDynamic returns a point-in-time plain filter of the dynamic
 // set, compatible with the shared tree (and with every plain set). The
-// snapshot is immutable and shared (it is memoized on the published
-// counting-filter version until the next mutation): treat it as
-// read-only.
+// snapshot is immutable and shared (the backend memoizes or maintains
+// it on the published version): treat it as read-only. For the cuckoo
+// backend the view is a monotone over-approximation across deletes;
+// ContainsDynamic goes through the delete-aware native probe.
 func (db *DB) SnapshotDynamic(key string) (*bloom.Filter, error) {
 	c, ok := db.getDynamic(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q (dynamic)", ErrNoSet, key)
 	}
-	return c.Snapshot(), nil
+	return c.QueryView(), nil
+}
+
+// MembershipDynamic returns the stored dynamic membership value for key
+// (nil if absent), exposing the backend-native probe surface.
+func (db *DB) MembershipDynamic(key string) membership.DynamicMembership {
+	c, ok := db.getDynamic(key)
+	if !ok {
+		return nil
+	}
+	return c
 }
 
 // SampleDynamic draws one element from the current state of the dynamic
@@ -142,7 +158,7 @@ func (db *DB) ReconstructDynamic(key string, rule core.PruneRule, ops *core.Ops)
 func (db *DB) DynamicKeys() []string {
 	var keys []string
 	for i := range db.shards {
-		db.shards[i].load().dynamic.rangeAll(func(k string, _ *bloom.CountingFilter) {
+		db.shards[i].load().dynamic.rangeAll(func(k string, _ membership.DynamicMembership) {
 			keys = append(keys, k)
 		})
 	}

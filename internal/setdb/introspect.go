@@ -1,5 +1,7 @@
 package setdb
 
+import "repro/internal/membership"
+
 // Introspection: a point-in-time view of the database's internal shape —
 // shard occupancy, chunk occupancy, write amplification, tree growth
 // epochs, memory — for operational surfaces (the bstserved /v1/stats
@@ -68,6 +70,27 @@ type DBStats struct {
 	// the per-stripe breakdown.
 	GrowthEpoch   uint64
 	SubtreeEpochs []uint64
+	// Backend describes the configured dynamic-set membership backend and
+	// its realized aggregates.
+	Backend BackendStats
+}
+
+// BackendStats is the per-DB membership-backend descriptor surfaced by
+// Stats() and /v1/stats.
+type BackendStats struct {
+	// Kind is the configured dynamic-set backend (plain sets are always
+	// "bloom").
+	Kind string `json:"kind"`
+	// Entries is the total number of live elements across dynamic sets;
+	// MemoryBytes their total resident bytes (tables plus query views).
+	Entries     uint64 `json:"entries"`
+	MemoryBytes uint64 `json:"memory_bytes"`
+	// BitsPerEntry is 8·MemoryBytes/Entries (0 with no entries) — the
+	// figure the backend bench sweeps compare.
+	BitsPerEntry float64 `json:"bits_per_entry"`
+	// LoadFactor is the mean fingerprint-slot occupancy for backends
+	// that have one (cuckoo); 0 otherwise.
+	LoadFactor float64 `json:"load_factor,omitempty"`
 }
 
 // MeanBytesCopiedPerWrite returns StateBytesCopied/StateWrites (0 before
@@ -96,6 +119,9 @@ func (db *DB) Stats() DBStats {
 		GrowthEpoch:       db.tree.GrowthEpoch(),
 		SubtreeEpochs:     db.tree.SubtreeEpochs(),
 	}
+	st.Backend.Kind = string(db.opts.Backend)
+	var lfSum float64
+	var lfN int
 	for i := range db.shards {
 		snap := db.shards[i].load()
 		ss := ShardStats{
@@ -103,6 +129,14 @@ func (db *DB) Stats() DBStats {
 			Dynamic: snap.dynamic.len(),
 			Chunks:  snap.sets.numChunks() + snap.dynamic.numChunks(),
 		}
+		snap.dynamic.rangeAll(func(_ string, m membership.DynamicMembership) {
+			st.Backend.Entries += m.Live()
+			st.Backend.MemoryBytes += m.SizeBytes()
+			if lf, ok := m.(membership.LoadFactorer); ok {
+				lfSum += lf.LoadFactor()
+				lfN++
+			}
+		})
 		for _, chunk := range snap.sets.chunks {
 			if n := len(chunk); n > 0 {
 				ss.OccupiedChunks++
@@ -123,6 +157,12 @@ func (db *DB) Stats() DBStats {
 		st.TotalChunks += ss.Chunks
 		st.Sets += ss.Sets
 		st.DynamicSets += ss.Dynamic
+	}
+	if st.Backend.Entries > 0 {
+		st.Backend.BitsPerEntry = 8 * float64(st.Backend.MemoryBytes) / float64(st.Backend.Entries)
+	}
+	if lfN > 0 {
+		st.Backend.LoadFactor = lfSum / float64(lfN)
 	}
 	return st
 }

@@ -43,7 +43,7 @@ func (db *DB) SampleManyWorkers(key string, n, workers int, ops *core.Ops) ([]ui
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	return db.sampleManyFilter(e.f, n, workers, ops)
+	return db.sampleManyFilter(e.f.QueryView(), n, workers, ops)
 }
 
 // SampleManyDynamic is SampleManyWorkers for a dynamic set: the batch

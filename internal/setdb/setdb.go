@@ -26,6 +26,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/core"
 	"repro/internal/hashfam"
+	"repro/internal/membership"
 )
 
 // Options configures a database.
@@ -47,6 +48,11 @@ type Options struct {
 	// inserted (recommended for sparse namespaces). A full tree is built
 	// eagerly otherwise.
 	Pruned bool
+	// Backend selects the membership backend for dynamic sets (counting
+	// or cuckoo; default counting). Plain sets are always Bloom-backed —
+	// they never delete, so nothing beats the plain filter. The choice is
+	// persisted in the snapshot header.
+	Backend membership.Kind
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DesignSetSize == 0 {
 		o.DesignSetSize = 1000
+	}
+	if o.Backend == "" {
+		o.Backend = membership.KindCounting
 	}
 	return o
 }
@@ -106,7 +115,7 @@ const numShards = 64
 // loudly); the monotone version lets the Sampler retarget strictly
 // forward even when goroutines race with stale snapshots in hand.
 type setEntry struct {
-	f   *bloom.Filter
+	f   membership.Membership
 	gen uint64
 	ver uint64
 }
@@ -121,7 +130,7 @@ type setEntry struct {
 // O(keys/shard).
 type shardState struct {
 	sets    chunkedMap[setEntry]
-	dynamic chunkedMap[*bloom.CountingFilter]
+	dynamic chunkedMap[membership.DynamicMembership]
 }
 
 // withSet returns a successor snapshot with key bound to e, plus the
@@ -143,7 +152,7 @@ func (st *shardState) withoutSet(h uint64, key string) (*shardState, uint64, boo
 
 // withDynamic returns a successor snapshot with key bound to c, plus the
 // estimated bytes copied building it.
-func (st *shardState) withDynamic(h uint64, key string, c *bloom.CountingFilter) (*shardState, uint64) {
+func (st *shardState) withDynamic(h uint64, key string, c membership.DynamicMembership) (*shardState, uint64) {
 	dynamic, copied := st.dynamic.with(h, key, c)
 	return &shardState{sets: st.sets, dynamic: dynamic}, copied
 }
@@ -262,9 +271,15 @@ func (db *DB) getSet(key string) (setEntry, bool) {
 }
 
 // getDynamic is getSet for dynamic entries.
-func (db *DB) getDynamic(key string) (*bloom.CountingFilter, bool) {
+func (db *DB) getDynamic(key string) (membership.DynamicMembership, bool) {
 	s, h := db.shardFor(key)
 	return s.load().dynamic.get(h, key)
+}
+
+// newDynamic creates an empty dynamic set with the database's configured
+// backend, pre-populated with ids.
+func (db *DB) newDynamic(ids []uint64) (membership.DynamicMembership, error) {
+	return membership.NewDynamicWith(db.opts.Backend, db.fam, db.opts.DesignSetSize, ids)
 }
 
 // Options returns the database's (defaulted) options.
@@ -345,7 +360,7 @@ func (db *DB) Add(key string, ids ...uint64) error {
 	if ok {
 		e = setEntry{f: e.f.CloneAdd(ids...), gen: e.gen, ver: e.ver + 1}
 	} else {
-		e = setEntry{f: bloom.NewFromElements(db.fam, ids), gen: db.gen.Add(1)}
+		e = setEntry{f: membership.FromBloom(bloom.NewFromElements(db.fam, ids)), gen: db.gen.Add(1)}
 	}
 	next, copied := cur.withSet(h, key, e)
 	s.state.Store(next)
@@ -369,11 +384,25 @@ func (db *DB) Delete(key string) bool {
 	return true
 }
 
-// Filter returns the stored filter for key (nil if absent). The returned
-// filter is immutable: an Add to the same key publishes a new version
-// rather than mutating it, so it is always safe to keep reading.
+// Filter returns the stored filter for key (nil if absent) as its plain
+// Bloom query view. The returned filter is immutable: an Add to the same
+// key publishes a new version rather than mutating it, so it is always
+// safe to keep reading.
 func (db *DB) Filter(key string) *bloom.Filter {
-	e, _ := db.getSet(key)
+	e, ok := db.getSet(key)
+	if !ok {
+		return nil
+	}
+	return e.f.QueryView()
+}
+
+// Membership returns the stored membership value for key (nil if
+// absent), exposing the backend-native probe surface.
+func (db *DB) Membership(key string) membership.Membership {
+	e, ok := db.getSet(key)
+	if !ok {
+		return nil
+	}
 	return e.f
 }
 
@@ -392,7 +421,7 @@ func (db *DB) Sample(key string, rng *rand.Rand, ops *core.Ops) (uint64, error) 
 	if !ok {
 		return 0, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	return db.tree.Sample(e.f, rng, ops)
+	return db.tree.Sample(e.f.QueryView(), rng, ops)
 }
 
 // SampleN draws r elements in a single tree pass (§5.3).
@@ -401,7 +430,7 @@ func (db *DB) SampleN(key string, r int, withReplacement bool, rng *rand.Rand, o
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	return db.tree.SampleN(e.f, r, withReplacement, rng, ops)
+	return db.tree.SampleN(e.f.QueryView(), r, withReplacement, rng, ops)
 }
 
 // Sampler is a rejection-corrected exactly-uniform sampler bound to its
@@ -449,7 +478,7 @@ func (s *Sampler) Sample(rng *rand.Rand, ops *core.Ops) (uint64, error) {
 		// the shared sampler backward; a draw that loses TryLock just
 		// samples the currently bound version, which is equally valid.
 		if e.ver > s.ver.Load() {
-			if err := s.u.Retarget(e.f); err != nil {
+			if err := s.u.Retarget(e.f.QueryView()); err != nil {
 				s.retargetMu.Unlock()
 				return 0, err
 			}
@@ -505,7 +534,7 @@ func (db *DB) UniformSampler(key string) (*Sampler, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	u, err := db.tree.NewUniformSampler(e.f)
+	u, err := db.tree.NewUniformSampler(e.f.QueryView())
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +549,7 @@ func (db *DB) Reconstruct(key string, rule core.PruneRule, ops *core.Ops) ([]uin
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoSet, key)
 	}
-	return db.tree.Reconstruct(e.f, rule, ops)
+	return db.tree.Reconstruct(e.f.QueryView(), rule, ops)
 }
 
 // IntersectionEstimate estimates |A ∩ B| for two stored sets. The two
@@ -532,19 +561,28 @@ func (db *DB) IntersectionEstimate(keyA, keyB string) (float64, error) {
 	if !okA || !okB {
 		return 0, fmt.Errorf("%w %q or %q", ErrNoSet, keyA, keyB)
 	}
-	return bloom.EstimateIntersectionOf(a.f, b.f), nil
+	return a.f.IntersectionEstimate(b.f.QueryView()), nil
 }
 
 // File format:
 //
-//	magic    [6]byte "SETDB1"
+//	magic    [6]byte "SETDB2"
 //	opts     namespace, bits, k, kind, seed, depth, pruned, design
-//	count    uint32
-//	entries  count × { keyLen uint16, key, filterLen uint32, filter }
+//	backend  uint8 length + backend kind string
+//	plain    uint32 count × { keyLen uint16, key, len uint32, membership envelope }
+//	dynamic  uint32 count × { keyLen uint16, key, len uint32, membership envelope }
 //
-// Filters embed their own parameters (bloom.MarshalBinary); they are
-// validated against the database profile on load.
-const dbMagic = "SETDB1"
+// Each set is a tagged membership envelope ("BSM1" + backend kind), so a
+// snapshot can mix backends and a reader reconstructs the right
+// implementation per set; views are validated against the database
+// profile on load. Snapshots written before backends existed ("SETDB1")
+// still load: they carry no backend field (the dynamic backend defaults
+// to counting), no dynamic section, and bare "BSF1" filter payloads,
+// which decode as the Bloom backend.
+const (
+	dbMagic       = "SETDB2"
+	dbMagicLegacy = "SETDB1"
+)
 
 // snapshotAll captures a cross-shard-consistent view of the database by
 // briefly holding every shard's writer mutex while loading the snapshots.
@@ -588,6 +626,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	}
 	hdr = append(hdr, byte(len(kind)))
 	hdr = append(hdr, kind...)
+	backend := string(db.opts.Backend)
+	hdr = append(hdr, byte(len(backend)))
+	hdr = append(hdr, backend...)
 	if _, err := bw.Write(hdr); err != nil {
 		return cw.n, err
 	}
@@ -599,42 +640,74 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		})
 	}
 	sort.Strings(keys)
-	var cnt [4]byte
-	binary.LittleEndian.PutUint32(cnt[:], uint32(len(keys)))
-	if _, err := bw.Write(cnt[:]); err != nil {
-		return cw.n, err
-	}
-	for _, k := range keys {
-		if len(k) > 1<<16-1 {
-			return cw.n, fmt.Errorf("setdb: key %.20q... too long", k)
-		}
+	lookupSet := func(k string) (membership.Membership, error) {
 		h := keyHash(k)
 		e, _ := states[h%numShards].sets.get(h, k)
-		data, err := e.f.MarshalBinary()
-		if err != nil {
-			return cw.n, err
-		}
-		var kl [2]byte
-		binary.LittleEndian.PutUint16(kl[:], uint16(len(k)))
-		if _, err := bw.Write(kl[:]); err != nil {
-			return cw.n, err
-		}
-		if _, err := bw.WriteString(k); err != nil {
-			return cw.n, err
-		}
-		var fl [4]byte
-		binary.LittleEndian.PutUint32(fl[:], uint32(len(data)))
-		if _, err := bw.Write(fl[:]); err != nil {
-			return cw.n, err
-		}
-		if _, err := bw.Write(data); err != nil {
-			return cw.n, err
-		}
+		return e.f, nil
+	}
+	if err := writeSection(bw, keys, lookupSet); err != nil {
+		return cw.n, err
+	}
+
+	keys = keys[:0]
+	for i := range states {
+		states[i].dynamic.rangeAll(func(k string, _ membership.DynamicMembership) {
+			keys = append(keys, k)
+		})
+	}
+	sort.Strings(keys)
+	lookupDynamic := func(k string) (membership.Membership, error) {
+		h := keyHash(k)
+		c, _ := states[h%numShards].dynamic.get(h, k)
+		return c, nil
+	}
+	if err := writeSection(bw, keys, lookupDynamic); err != nil {
+		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+// writeSection serializes one keyed section (plain or dynamic): a count,
+// then sorted key/envelope pairs.
+func writeSection(bw *bufio.Writer, keys []string, lookup func(string) (membership.Membership, error)) error {
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(keys)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if len(k) > 1<<16-1 {
+			return fmt.Errorf("setdb: key %.20q... too long", k)
+		}
+		m, err := lookup(k)
+		if err != nil {
+			return err
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		var kl [2]byte
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(k)))
+		if _, err := bw.Write(kl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		var fl [4]byte
+		binary.LittleEndian.PutUint32(fl[:], uint32(len(data)))
+		if _, err := bw.Write(fl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadFrom deserializes a non-pruned database written by WriteTo. Pruned
@@ -659,7 +732,12 @@ func parse(r io.Reader) (*DB, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
 	}
-	if string(magic) != dbMagic {
+	legacy := false
+	switch string(magic) {
+	case dbMagic:
+	case dbMagicLegacy:
+		legacy = true
+	default:
 		return nil, fmt.Errorf("setdb: bad magic %q", magic)
 	}
 	fixed := make([]byte, 8+8+4+8+4+8+1+1)
@@ -681,57 +759,118 @@ func parse(r io.Reader) (*DB, error) {
 		return nil, err
 	}
 	opts.HashKind = hashfam.Kind(kind)
+	if !legacy {
+		// The configured dynamic backend rides in the v2 header; legacy
+		// snapshots predate backends and default to counting.
+		var bl [1]byte
+		if _, err := io.ReadFull(br, bl[:]); err != nil {
+			return nil, err
+		}
+		bk := make([]byte, bl[0])
+		if _, err := io.ReadFull(br, bk); err != nil {
+			return nil, err
+		}
+		backend, err := membership.ParseKind(string(bk))
+		if err != nil {
+			return nil, fmt.Errorf("setdb: header: %w", err)
+		}
+		opts.Backend = backend
+	}
 
 	db, err := Open(opts)
 	if err != nil {
 		return nil, err
 	}
-	var cnt [4]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, err
-	}
-	count := binary.LittleEndian.Uint32(cnt[:])
 	// Accumulate per-shard builders and publish each snapshot once, so
 	// the load is O(keys), not O(keys × shard size).
 	var sets [numShards]*chunkBuilder[setEntry]
-	for i := uint32(0); i < count; i++ {
-		var kl [2]byte
-		if _, err := io.ReadFull(br, kl[:]); err != nil {
-			return nil, err
-		}
-		key := make([]byte, binary.LittleEndian.Uint16(kl[:]))
-		if _, err := io.ReadFull(br, key); err != nil {
-			return nil, err
-		}
-		var fl [4]byte
-		if _, err := io.ReadFull(br, fl[:]); err != nil {
-			return nil, err
-		}
-		data := make([]byte, binary.LittleEndian.Uint32(fl[:]))
-		if _, err := io.ReadFull(br, data); err != nil {
-			return nil, err
-		}
-		f, err := bloom.UnmarshalFilter(data)
+	err = readSection(br, func(key string, data []byte) error {
+		m, err := membership.Unmarshal(data)
 		if err != nil {
-			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
+			return fmt.Errorf("setdb: set %q: %w", key, err)
 		}
-		if err := f.MatchesFamily(db.fam); err != nil {
-			return nil, fmt.Errorf("setdb: set %q: %w", key, err)
+		if err := m.QueryView().MatchesFamily(db.fam); err != nil {
+			return fmt.Errorf("setdb: set %q: %w", key, err)
 		}
-		k := string(key)
-		h := keyHash(k)
+		h := keyHash(key)
 		si := int(h % numShards)
 		if sets[si] == nil {
 			sets[si] = newChunkBuilder(chunkedMap[setEntry]{})
 		}
-		sets[si].set(h, k, setEntry{f: f, gen: db.gen.Add(1)})
+		sets[si].set(h, key, setEntry{f: m, gen: db.gen.Add(1)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range db.shards {
-		if sets[i] != nil {
-			db.shards[i].state.Store(&shardState{sets: sets[i].freeze()})
+	var dyn [numShards]*chunkBuilder[membership.DynamicMembership]
+	if !legacy {
+		err = readSection(br, func(key string, data []byte) error {
+			m, err := membership.UnmarshalDynamic(data)
+			if err != nil {
+				return fmt.Errorf("setdb: dynamic set %q: %w", key, err)
+			}
+			if err := m.QueryView().MatchesFamily(db.fam); err != nil {
+				return fmt.Errorf("setdb: dynamic set %q: %w", key, err)
+			}
+			h := keyHash(key)
+			si := int(h % numShards)
+			if dyn[si] == nil {
+				dyn[si] = newChunkBuilder(chunkedMap[membership.DynamicMembership]{})
+			}
+			dyn[si].set(h, key, m)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
+	for i := range db.shards {
+		if sets[i] == nil && dyn[i] == nil {
+			continue
+		}
+		st := &shardState{}
+		if sets[i] != nil {
+			st.sets = sets[i].freeze()
+		}
+		if dyn[i] != nil {
+			st.dynamic = dyn[i].freeze()
+		}
+		db.shards[i].state.Store(st)
+	}
 	return db, nil
+}
+
+// readSection decodes one keyed section written by writeSection, calling
+// fn for each key/envelope pair.
+func readSection(br *bufio.Reader, fn func(key string, data []byte) error) error {
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint32(cnt[:])
+	for i := uint32(0); i < count; i++ {
+		var kl [2]byte
+		if _, err := io.ReadFull(br, kl[:]); err != nil {
+			return err
+		}
+		key := make([]byte, binary.LittleEndian.Uint16(kl[:]))
+		if _, err := io.ReadFull(br, key); err != nil {
+			return err
+		}
+		var fl [4]byte
+		if _, err := io.ReadFull(br, fl[:]); err != nil {
+			return err
+		}
+		data := make([]byte, binary.LittleEndian.Uint32(fl[:]))
+		if _, err := io.ReadFull(br, data); err != nil {
+			return err
+		}
+		if err := fn(string(key), data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadFromWithIDs deserializes a pruned database, rebuilding its tree

@@ -1,0 +1,222 @@
+package bloomsample
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/hashfam"
+	"repro/internal/membership"
+	"repro/internal/setdb"
+)
+
+// Functional-options construction API. The package started with
+// positional constructors (NewFilter(kind, m, k, seed), NewTree(plan,
+// kind, seed), OpenSetDB(opts)); as the parameter space grew — hash
+// family, seed, membership backend, accuracy, tree shape — every new
+// knob either broke those signatures or forced another NewXxxWithYyy
+// variant. The With* options below compose instead: each constructor
+// takes the values that define what is being built (a namespace, a
+// plan, filter dimensions) positionally, and everything with a sensible
+// default as options. The positional constructors remain as thin
+// deprecated wrappers.
+//
+//	db, _ := bloomsample.Open(1_000_000,
+//	        bloomsample.WithAccuracy(0.95),
+//	        bloomsample.WithBackend(bloomsample.BackendCuckoo),
+//	        bloomsample.WithPruned(true))
+//	tree, _ := bloomsample.NewTreeWith(plan, bloomsample.WithSeed(42))
+//	f, _ := bloomsample.NewFilterWith(1<<20, 3, bloomsample.WithHash(bloomsample.Murmur3))
+
+// BackendKind selects a membership backend for dynamic (deletable)
+// sets.
+type BackendKind = membership.Kind
+
+// Membership backends. BackendCounting (the default) stores 8-bit
+// counters — 8× a plain filter's memory, constant-time removes.
+// BackendCuckoo stores 16-bit fingerprints in 4-slot buckets — roughly
+// 2.4 bytes per live entry at its design load factor plus a plain query
+// view, native deletes, and a ~3·2⁻¹⁵ false-positive rate. BackendBloom
+// is the plain filter: valid wherever nothing needs deleting, rejected
+// for dynamic sets.
+const (
+	BackendBloom    = membership.KindBloom
+	BackendCounting = membership.KindCounting
+	BackendCuckoo   = membership.KindCuckoo
+)
+
+// Membership is the read surface every backend satisfies: membership
+// probes, cardinality, a tree-compatible plain-filter query view, and
+// the intersection estimators the sampler descends by.
+type Membership = membership.Membership
+
+// DynamicMembership adds copy-on-write insertion and removal; values
+// are immutable, so published versions may be read without locks.
+type DynamicMembership = membership.DynamicMembership
+
+// options collects every construction knob the With* functions set.
+type options struct {
+	hash          HashKind
+	seed          uint64
+	backend       BackendKind
+	accuracy      float64
+	k             int
+	bits          uint64
+	treeDepth     int
+	pruned        bool
+	designSetSize uint64
+	workers       int
+}
+
+// Option configures a constructor. Options apply in order; later
+// options win.
+type Option func(*options)
+
+func buildOptions(opts []Option) options {
+	o := options{
+		hash:          Fast,
+		accuracy:      0.9,
+		k:             3,
+		designSetSize: 1000,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithHash selects the hash family (default Fast).
+func WithHash(kind HashKind) Option { return func(o *options) { o.hash = kind } }
+
+// WithSeed sets the hash seed (default 0). Filters only compose —
+// union, intersection, tree queries — when built with the same family,
+// dimensions and seed.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithBackend selects the membership backend for dynamic sets (default
+// BackendCounting). Plain sets always use the Bloom filter — they never
+// delete, so nothing beats it.
+func WithBackend(kind BackendKind) Option { return func(o *options) { o.backend = kind } }
+
+// WithAccuracy sets the target sampling accuracy the planner sizes for
+// (default 0.9; values above 0.99 are capped).
+func WithAccuracy(a float64) Option { return func(o *options) { o.accuracy = a } }
+
+// WithK sets the number of hash functions used when planning (default 3).
+func WithK(k int) Option { return func(o *options) { o.k = k } }
+
+// WithBits overrides the planned filter size in bits. Zero (the
+// default) lets WithAccuracy drive the size.
+func WithBits(m uint64) Option { return func(o *options) { o.bits = m } }
+
+// WithTreeDepth overrides the planned tree depth. Zero (the default)
+// derives the depth from the cost model.
+func WithTreeDepth(d int) Option { return func(o *options) { o.treeDepth = d } }
+
+// WithPruned selects a Pruned-BloomSampleTree that allocates only
+// occupied subtrees and grows on demand (recommended for sparse
+// namespaces). Default false: the full tree is built eagerly.
+func WithPruned(pruned bool) Option { return func(o *options) { o.pruned = pruned } }
+
+// WithDesignSetSize sets the typical stored-set size the planner and
+// backends size for (default 1000).
+func WithDesignSetSize(n uint64) Option { return func(o *options) { o.designSetSize = n } }
+
+// WithWorkers sets the goroutine count for parallel tree builds
+// (default 0 = GOMAXPROCS). Ignored by constructors that build nothing
+// parallel.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// Open creates an empty set database over the namespace [0, M),
+// planning the filter profile from the accuracy options and selecting
+// the dynamic-set backend from WithBackend. It replaces
+// OpenSetDB(PlanSetDB(...)) pipelines:
+//
+//	db, err := bloomsample.Open(1_000_000,
+//	        bloomsample.WithAccuracy(0.95),
+//	        bloomsample.WithBackend(bloomsample.BackendCuckoo),
+//	        bloomsample.WithPruned(true))
+func Open(namespace uint64, opts ...Option) (*SetDB, error) {
+	o := buildOptions(opts)
+	dbo, err := setdb.PlanOptions(o.accuracy, o.designSetSize, namespace, o.k)
+	if err != nil {
+		return nil, err
+	}
+	dbo.HashKind = o.hash
+	dbo.Seed = o.seed
+	dbo.Backend = o.backend
+	dbo.Pruned = o.pruned
+	if o.bits != 0 {
+		dbo.Bits = o.bits
+	}
+	if o.treeDepth != 0 {
+		dbo.TreeDepth = o.treeDepth
+	}
+	return setdb.Open(dbo)
+}
+
+// NewFilterWith returns an empty Bloom filter with m bits and k hash
+// functions; WithHash and WithSeed select the family. Prefer
+// Tree.NewQueryFilter when the filter will be queried against a tree.
+func NewFilterWith(m uint64, k int, opts ...Option) (*Filter, error) {
+	o := buildOptions(opts)
+	fam, err := hashfam.New(o.hash, m, k, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return bloom.New(fam), nil
+}
+
+// NewCountingFilterWith returns an empty counting Bloom filter with m
+// counters and k hash functions; WithHash and WithSeed select the
+// family.
+func NewCountingFilterWith(m uint64, k int, opts ...Option) (*CountingFilter, error) {
+	o := buildOptions(opts)
+	fam, err := hashfam.New(o.hash, m, k, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return bloom.NewCounting(fam), nil
+}
+
+// NewDynamicMembership returns an empty deletable set on the backend
+// selected by WithBackend (default BackendCounting), dimensioned m bits
+// (counting: counters; cuckoo: query-view bits) by k hash functions.
+// WithDesignSetSize hints the cuckoo backend's initial table capacity.
+func NewDynamicMembership(m uint64, k int, opts ...Option) (DynamicMembership, error) {
+	o := buildOptions(opts)
+	fam, err := hashfam.New(o.hash, m, k, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	kind := o.backend
+	if kind == "" {
+		kind = BackendCounting
+	}
+	return membership.NewDynamic(kind, fam, o.designSetSize)
+}
+
+// NewTreeWith builds the BloomSampleTree for the plan. WithHash and
+// WithSeed select the hash family; WithPruned(true) with occupied ids
+// is NewPrunedTreeWith's job (a pruned tree needs the ids);
+// WithWorkers(n) parallelizes the full build.
+func NewTreeWith(plan TreePlan, opts ...Option) (*Tree, error) {
+	o := buildOptions(opts)
+	cfg := plan.TreeConfig(o.hash, o.seed)
+	if o.workers != 0 {
+		return core.BuildTreeParallel(cfg, o.workers)
+	}
+	return core.BuildTree(cfg)
+}
+
+// NewPrunedTreeWith builds a Pruned-BloomSampleTree over only the
+// occupied identifiers; Tree.Insert grows it as occupancy grows.
+func NewPrunedTreeWith(plan TreePlan, occupied []uint64, opts ...Option) (*Tree, error) {
+	o := buildOptions(opts)
+	return core.BuildPruned(plan.TreeConfig(o.hash, o.seed), occupied)
+}
+
+// UnmarshalMembership decodes any membership value encoded by
+// Membership.MarshalBinary — enveloped backends and bare legacy
+// filter/counting encodings alike.
+func UnmarshalMembership(data []byte) (Membership, error) {
+	return membership.Unmarshal(data)
+}

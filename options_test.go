@@ -1,0 +1,122 @@
+package bloomsample_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	bloomsample "repro"
+)
+
+func TestOptionsOpenWithBackend(t *testing.T) {
+	db, err := bloomsample.Open(100_000,
+		bloomsample.WithAccuracy(0.9),
+		bloomsample.WithBackend(bloomsample.BackendCuckoo),
+		bloomsample.WithSeed(11),
+		bloomsample.WithPruned(true))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := db.Options().Backend; got != bloomsample.BackendCuckoo {
+		t.Fatalf("Backend = %q, want cuckoo", got)
+	}
+	if !db.Options().Pruned {
+		t.Fatal("WithPruned(true) not applied")
+	}
+	if db.Options().Seed != 11 {
+		t.Fatalf("Seed = %d, want 11", db.Options().Seed)
+	}
+
+	if err := db.AddDynamic("d", 1, 2, 3); err != nil {
+		t.Fatalf("AddDynamic: %v", err)
+	}
+	if err := db.RemoveDynamic("d", 2); err != nil {
+		t.Fatalf("RemoveDynamic: %v", err)
+	}
+	if db.MembershipDynamic("d").Backend() != bloomsample.BackendCuckoo {
+		t.Fatal("dynamic set not cuckoo-backed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := db.SampleDynamic("d", rng, nil); err != nil && !errors.Is(err, bloomsample.ErrNoSample) {
+		t.Fatalf("SampleDynamic: %v", err)
+	}
+	if st := db.Stats(); st.Backend.Kind != string(bloomsample.BackendCuckoo) {
+		t.Fatalf("Stats().Backend.Kind = %q, want cuckoo", st.Backend.Kind)
+	}
+}
+
+func TestOptionsConstructorsMatchDeprecated(t *testing.T) {
+	plan, err := bloomsample.Plan(0.9, 500, 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldTree, err := bloomsample.NewTree(plan, bloomsample.Murmur3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTree, err := bloomsample.NewTreeWith(plan,
+		bloomsample.WithHash(bloomsample.Murmur3), bloomsample.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same parameters → filters from either tree are interchangeable.
+	q := oldTree.NewQueryFilter()
+	q.Add(123)
+	q.Add(77)
+	rng := rand.New(rand.NewSource(3))
+	x, err := newTree.Sample(q, rng, nil)
+	if err != nil && !errors.Is(err, bloomsample.ErrNoSample) {
+		t.Fatalf("cross-constructor sample: %v", err)
+	}
+	if err == nil && x != 123 && x != 77 {
+		// Tree sampling can return false positives, but with these
+		// parameters a wrong member is overwhelmingly unlikely.
+		t.Fatalf("sample = %d, want a member of {123, 77}", x)
+	}
+
+	oldF, err := bloomsample.NewFilter(bloomsample.Fast, 1<<12, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, err := bloomsample.NewFilterWith(1<<12, 3, bloomsample.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldF.Add(5)
+	newF.Add(5)
+	if !oldF.Equal(newF) {
+		t.Fatal("deprecated NewFilter and NewFilterWith disagree on identical parameters")
+	}
+}
+
+func TestDynamicMembershipFacade(t *testing.T) {
+	for _, kind := range []bloomsample.BackendKind{bloomsample.BackendCounting, bloomsample.BackendCuckoo} {
+		m, err := bloomsample.NewDynamicMembership(1<<12, 3,
+			bloomsample.WithBackend(kind), bloomsample.WithSeed(5))
+		if err != nil {
+			t.Fatalf("%s: NewDynamicMembership: %v", kind, err)
+		}
+		m2 := m.CloneAddDynamic(8, 16)
+		m3, err := m2.CloneRemove(8)
+		if err != nil {
+			t.Fatalf("%s: CloneRemove: %v", kind, err)
+		}
+		if m3.Contains(8) || !m3.Contains(16) {
+			t.Fatalf("%s: membership wrong after remove", kind)
+		}
+		data, err := m3.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", kind, err)
+		}
+		back, err := bloomsample.UnmarshalMembership(data)
+		if err != nil {
+			t.Fatalf("%s: UnmarshalMembership: %v", kind, err)
+		}
+		if back.Backend() != kind || !back.Contains(16) {
+			t.Fatalf("%s: round-trip lost state", kind)
+		}
+		if _, err := m2.CloneRemove(999); !errors.Is(err, bloomsample.ErrNotMember) {
+			t.Fatalf("%s: remove of non-member = %v, want ErrNotMember", kind, err)
+		}
+	}
+}
