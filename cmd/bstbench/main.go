@@ -132,6 +132,10 @@ func main() {
 			fmt.Println(line)
 			fmt.Println()
 		}
+		if line, ok := experiments.RecoverySummary(tables); ok {
+			fmt.Println(line)
+			fmt.Println()
+		}
 		je.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		report.Experiments = append(report.Experiments, je)
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))

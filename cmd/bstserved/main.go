@@ -10,8 +10,14 @@
 //	bstserved -db sets.db -ids occupied.txt # pruned db + its occupied ids
 //
 // Endpoints: POST /v1/sample, /v1/reconstruct, /v1/intersection, /v1/add,
-// /v1/remove; GET /v1/stats. See the README's "Serving over HTTP" section
+// /v1/remove; GET /v1/stats; GET/POST /v1/snapshot and POST /v1/restore
+// for backup/replication. See the README's "Serving over HTTP" section
 // for request/response schemas and example curl calls.
+//
+// With -data-dir set, every mutation is written ahead to a checksummed,
+// segmented log and acknowledged per the -fsync policy; the database
+// survives kill -9 by replaying the newest snapshot plus the WAL tail
+// at boot. See the README's "Durability and recovery" section.
 //
 // With -bin-addr set, the same database is additionally served on a
 // second listener speaking the compact binary protocol (internal/wire):
@@ -46,6 +52,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/server"
 	"repro/internal/setdb"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -69,12 +76,45 @@ func main() {
 		maxWrites = flag.Int("max-writes", server.DefaultMaxWrites, "in-flight budget for write requests (add/remove) within the global budget (0: default)")
 		connWin   = flag.Int("conn-window", server.DefaultConnWindow, "per-connection in-flight window on the binary listener (0: default)")
 		shutdown  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); writes are logged before they are acknowledged and the database survives restarts (exclusive with -db)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, never, or a duration (e.g. 100ms) for interval syncing")
+		snapEvery = flag.Duration("snapshot-interval", 0, "background snapshot period with -data-dir (0: snapshot only via POST /v1/snapshot)")
+		addrFile  = flag.String("addr-file", "", "write the bound listener addresses to this file once serving (http=... and bin=... lines); for test harnesses using port 0")
 	)
 	flag.Parse()
 
-	db, err := openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
-	if err != nil {
-		log.Fatalf("bstserved: %v", err)
+	var db *setdb.DB
+	var store *wal.Store
+	if *dataDir != "" {
+		if *dbPath != "" {
+			log.Fatal("bstserved: -data-dir and -db are exclusive (restore a file into a data dir via POST /v1/restore)")
+		}
+		policy, interval, err := parseFsync(*fsync)
+		if err != nil {
+			log.Fatalf("bstserved: %v", err)
+		}
+		store, err = wal.Open(*dataDir, func() (*setdb.DB, error) {
+			return openDB("", "", *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
+		}, wal.Options{
+			Fsync:            policy,
+			FsyncInterval:    interval,
+			SnapshotInterval: *snapEvery,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("bstserved: %v", err)
+		}
+		defer store.Close()
+		db = store.DB()
+		ws := store.Stats()
+		log.Printf("durability: %s (fsync %s): %d records replayed, %d skipped, %d torn tail bytes dropped",
+			*dataDir, ws.FsyncPolicy, ws.ReplayedAtBoot, ws.SkippedAtBoot, ws.DroppedTailBytes)
+	} else {
+		var err error
+		db, err = openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
+		if err != nil {
+			log.Fatalf("bstserved: %v", err)
+		}
 	}
 	bk := db.Stats().Backend
 	log.Printf("membership backend: %s (%d dynamic entries, %d bytes)", bk.Kind, bk.Entries, bk.MemoryBytes)
@@ -93,6 +133,7 @@ func main() {
 	api := server.New(db, server.Config{
 		MaxBatch: *maxBatch, MaxBatchSets: *maxSets, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody,
 		MaxInFlight: *inflight, MaxWrites: *maxWrites, ConnWindow: *connWin,
+		Durability: store,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -107,22 +148,42 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen explicitly (rather than ListenAndServe) so the bound
+	// addresses are known before serving starts — with -addr :0 the
+	// kernel picks the port, and -addr-file is how a test harness learns
+	// it.
+	httpLn, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bstserved: %v", err)
+	}
 	errc := make(chan error, 2)
 	go func() {
-		log.Printf("serving %d sets on %s (HTTP/JSON)", db.Len(), *addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("serving %d sets on %s (HTTP/JSON)", db.Len(), httpLn.Addr())
+		errc <- srv.Serve(httpLn)
 	}()
 	binServing := false
+	addrs := fmt.Sprintf("http=%s\n", httpLn.Addr())
 	if *binAddr != "" {
 		ln, err := net.Listen("tcp", *binAddr)
 		if err != nil {
 			log.Fatalf("bstserved: binary listener: %v", err)
 		}
 		binServing = true
+		addrs += fmt.Sprintf("bin=%s\n", ln.Addr())
 		go func() {
 			log.Printf("serving binary protocol on %s", ln.Addr())
 			errc <- api.ServeBinary(ln)
 		}()
+	}
+	if *addrFile != "" {
+		// Temp-and-rename so a reader never sees a partial file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(addrs), 0o644); err != nil {
+			log.Fatalf("bstserved: writing -addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("bstserved: writing -addr-file: %v", err)
+		}
 	}
 
 	select {
@@ -179,6 +240,20 @@ func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.D
 	}()
 	<-done
 	<-done
+}
+
+// parseFsync maps the -fsync flag onto a wal policy: the two named
+// policies pass through, and a duration selects interval syncing with
+// that period.
+func parseFsync(s string) (wal.FsyncPolicy, time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		if d <= 0 {
+			return "", 0, fmt.Errorf("-fsync interval %v must be positive", d)
+		}
+		return wal.FsyncInterval, d, nil
+	}
+	p, err := wal.ParseFsyncPolicy(s)
+	return p, 0, err
 }
 
 // openDB loads the database file (plus occupied ids for pruned trees) or

@@ -208,6 +208,7 @@ func Registry() map[string]Runner {
 		"concurrency":     RunConcurrency,
 		"serving":         RunServing,
 		"writeamp":        RunWriteAmp,
+		"recovery":        RunRecovery,
 		"hash":            RunHash,
 		"backend":         RunBackend,
 	}
@@ -222,7 +223,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency", "serving", "writeamp", "hash", "backend",
+		"concurrency", "serving", "writeamp", "recovery", "hash", "backend",
 	}
 }
 

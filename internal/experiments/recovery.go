@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/setdb"
+	"repro/internal/wal"
+)
+
+// RunRecovery measures what the durability layer costs on the write
+// path and what it buys at boot, across the fsync-policy sweep:
+//
+//   - ingest_ms vs base_ms: the same group-commit batches applied
+//     through the WAL (apply + log + fsync per policy) vs straight into
+//     an in-memory database. overhead_x is their ratio — the price of
+//     durability per policy.
+//   - recover_ms vs rebuild_ms: reopening the data directory (load the
+//     snapshot taken at 80% of ingest, replay the WAL tail) vs
+//     rebuilding the same state by re-applying every write from
+//     scratch. speedup_x is rebuild/recover — the payoff of
+//     checkpointing over replaying history.
+//
+// Every recovery is verified: the reopened database must serialize to
+// exactly the bytes the ingested one did, or the cell fails.
+func RunRecovery(c Config) ([]*Table, error) {
+	const (
+		batch       = 16  // group-commit batch size per Apply
+		idsPerWrite = 8   // ids per write
+		snapAt      = 0.8 // fraction of ingest completed before the snapshot
+		M           = 100_000
+	)
+	keysSweep := []int{500, 2000}
+	policies := []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNever}
+
+	tbl := &Table{
+		ID: "recovery",
+		Title: fmt.Sprintf("WAL ingest overhead and snapshot+replay recovery vs full rebuild (batch=%d, snapshot at %.0f%%)",
+			batch, snapAt*100),
+		Columns: []string{
+			"fsync", "keys", "writes", "base_ms", "ingest_ms", "overhead_x",
+			"rebuild_ms", "recover_ms", "replayed", "speedup_x",
+		},
+	}
+
+	opts, err := setdb.PlanOptions(0.9, idsPerWrite, M, c.K)
+	if err != nil {
+		return nil, err
+	}
+	opts.Pruned = true
+	opts.Seed = c.Seed
+	opts.HashKind = c.HashKind
+	fresh := func() (*setdb.DB, error) { return setdb.Open(opts) }
+
+	for _, nKeys := range keysSweep {
+		rng := c.rng(uint64(nKeys))
+		writes := make([]setdb.Write, nKeys)
+		for i := range writes {
+			ids := make([]uint64, idsPerWrite)
+			for j := range ids {
+				ids[j] = rng.Uint64() % M
+			}
+			writes[i] = setdb.Write{Key: "k" + strconv.Itoa(i), IDs: ids}
+		}
+
+		// Baseline: the same batches with no durability layer. This also
+		// serves as the rebuild time — recovering with no snapshot and no
+		// WAL is exactly re-running ingest.
+		base, err := fresh()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := applyBatched(base, writes, batch); err != nil {
+			return nil, err
+		}
+		baseMS := msElapsed(start)
+
+		for _, policy := range policies {
+			row, err := recoveryCell(fresh, writes, batch, snapAt, policy)
+			if err != nil {
+				return nil, fmt.Errorf("recovery %s/%d keys: %w", policy, nKeys, err)
+			}
+			tbl.Add(string(policy), strconv.Itoa(nKeys), strconv.Itoa(len(writes)),
+				fmt.Sprintf("%.2f", baseMS),
+				fmt.Sprintf("%.2f", row.ingestMS),
+				fmt.Sprintf("%.2f", row.ingestMS/baseMS),
+				fmt.Sprintf("%.2f", baseMS),
+				fmt.Sprintf("%.2f", row.recoverMS),
+				strconv.FormatUint(row.replayed, 10),
+				fmt.Sprintf("%.2f", baseMS/row.recoverMS))
+		}
+	}
+	return []*Table{tbl}, nil
+}
+
+type recoveryRow struct {
+	ingestMS  float64
+	recoverMS float64
+	replayed  uint64
+}
+
+// recoveryCell runs one (policy, workload) cell: ingest through a WAL
+// store with a snapshot at snapAt, close, reopen, verify byte equality.
+func recoveryCell(fresh func() (*setdb.DB, error), writes []setdb.Write, batch int, snapAt float64, policy wal.FsyncPolicy) (recoveryRow, error) {
+	dir, err := os.MkdirTemp("", "bst-recovery-")
+	if err != nil {
+		return recoveryRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	wopts := wal.Options{Fsync: policy}
+	store, err := wal.Open(dir, fresh, wopts)
+	if err != nil {
+		return recoveryRow{}, err
+	}
+	snapAfter := int(float64(len(writes)) * snapAt)
+	start := time.Now()
+	for lo := 0; lo < len(writes); lo += batch {
+		hi := min(lo+batch, len(writes))
+		if err := store.Apply(writes[lo:hi]); err != nil {
+			store.Close()
+			return recoveryRow{}, err
+		}
+		if lo < snapAfter && hi >= snapAfter {
+			if _, err := store.Snapshot(); err != nil {
+				store.Close()
+				return recoveryRow{}, err
+			}
+		}
+	}
+	row := recoveryRow{ingestMS: msElapsed(start)}
+
+	var want bytes.Buffer
+	if _, err := store.DB().SnapshotView().WriteBundleTo(&want); err != nil {
+		store.Close()
+		return recoveryRow{}, err
+	}
+	if err := store.Close(); err != nil {
+		return recoveryRow{}, err
+	}
+
+	start = time.Now()
+	reopened, err := wal.Open(dir, fresh, wopts)
+	if err != nil {
+		return recoveryRow{}, err
+	}
+	row.recoverMS = msElapsed(start)
+	defer reopened.Close()
+	row.replayed = reopened.Stats().ReplayedAtBoot
+
+	var got bytes.Buffer
+	if _, err := reopened.DB().SnapshotView().WriteBundleTo(&got); err != nil {
+		return recoveryRow{}, err
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		return recoveryRow{}, fmt.Errorf("recovered database differs from ingested one (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	return row, nil
+}
+
+// applyBatched applies writes in fixed-size group-commit batches.
+func applyBatched(db *setdb.DB, writes []setdb.Write, batch int) error {
+	for lo := 0; lo < len(writes); lo += batch {
+		hi := min(lo+batch, len(writes))
+		if err := db.ApplyBatch(writes[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func msElapsed(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// RecoverySummary condenses a recovery run into one line: the geometric
+// span of the recovery speedups and the ingest overhead of the safest
+// policy. The second return is false when the tables are not a
+// recovery run.
+func RecoverySummary(tables []*Table) (string, bool) {
+	for _, t := range tables {
+		if t.ID != "recovery" {
+			continue
+		}
+		col := map[string]int{}
+		for i, c := range t.Columns {
+			col[c] = i
+		}
+		var minSp, maxSp, worstOv float64
+		for _, row := range t.Rows {
+			sp, err := strconv.ParseFloat(row[col["speedup_x"]], 64)
+			if err != nil {
+				continue
+			}
+			if minSp == 0 || sp < minSp {
+				minSp = sp
+			}
+			if sp > maxSp {
+				maxSp = sp
+			}
+			if row[col["fsync"]] == string(wal.FsyncAlways) {
+				if ov, err := strconv.ParseFloat(row[col["overhead_x"]], 64); err == nil && ov > worstOv {
+					worstOv = ov
+				}
+			}
+		}
+		if minSp == 0 {
+			return "", false
+		}
+		return fmt.Sprintf(
+			"recovery: snapshot+WAL boot %.1f-%.1fx faster than rebuild; fsync=always ingest overhead up to %.1fx",
+			minSp, maxSp, worstOv), true
+	}
+	return "", false
+}

@@ -253,6 +253,7 @@ func runWirePair(clients, batch int, httpClient *http.Client, baseURL, binAddr s
 			return nil, nil, derr
 		}
 		bc.Timeout = 10 * time.Second
+		bc.Retries = shedRetries // shed requests cost the server nothing; retry instead of counting errors
 		defer bc.Close()
 		binClients[i] = bc
 	}
@@ -389,24 +390,63 @@ func ServingSummary(tables []*Table) (string, bool) {
 	return "", false
 }
 
-// doPost fires one JSON POST and reports whether it returned 200. The
-// body is drained so the connection is reused.
-func doPost(client *http.Client, url, body string) bool {
-	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return false
+// Shed-retry policy for the HTTP bench clients: a 503 from admission
+// control is retried a bounded number of times, honoring the server's
+// Retry-After header up to a cap (the header says seconds; waiting a
+// full second inside a benchmark window would measure the sleep, not
+// the server).
+const (
+	shedRetries = 3
+	maxShedWait = 250 * time.Millisecond
+)
+
+// shedWait returns how long to back off after one 503, honoring
+// Retry-After under the cap.
+func shedWait(resp *http.Response) time.Duration {
+	wait := maxShedWait
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+		if d := time.Duration(s) * time.Second; d < wait {
+			wait = d
+		}
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
-	return resp.StatusCode == http.StatusOK
+	return wait
+}
+
+// doPost fires one JSON POST and reports whether it returned 200,
+// retrying shed (503) responses — the HTTP analogue of the binary
+// client's ErrBusy retry. The body is drained so the connection is
+// reused.
+func doPost(client *http.Client, url, body string) bool {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return false
+		}
+		_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= shedRetries {
+			return resp.StatusCode == http.StatusOK
+		}
+		time.Sleep(shedWait(resp))
+	}
 }
 
 // postCountSamples fires one sample request and counts the ids in the
 // response, decoding whichever wire format the request selected.
 func postCountSamples(client *http.Client, url, body string, stream bool) (int, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return 0, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, err = client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= shedRetries {
+			break
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(shedWait(resp))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -49,6 +49,7 @@ var ErrBinaryClosed = errors.New("server: binary listener closed")
 var binEndpoints = []string{
 	"bin:sample", "bin:sample_stream", "bin:reconstruct",
 	"bin:intersection", "bin:add", "bin:remove", "bin:stats",
+	"bin:snapshot", "bin:restore",
 }
 
 // binEndpointFor maps a request opcode to its metrics key and write-path
@@ -69,6 +70,12 @@ func binEndpointFor(op byte) (name string, isWrite, ok bool) {
 		return "bin:remove", true, true
 	case wire.OpStats:
 		return "bin:stats", false, true
+	case wire.OpSnapshot:
+		// Snapshotting never touches the shard write path (it pins a
+		// read view), so it rides the global budget only.
+		return "bin:snapshot", false, true
+	case wire.OpRestore:
+		return "bin:restore", true, true
 	}
 	return "", false, false
 }
@@ -344,6 +351,10 @@ func (bc *binConn) handle(h wire.Header, body []byte) error {
 		err = bc.handleRemove(h, body)
 	case wire.OpStats:
 		err = bc.handleStats(h)
+	case wire.OpSnapshot:
+		err = bc.handleSnapshot(h)
+	case wire.OpRestore:
+		err = bc.handleRestore(h, body)
 	}
 	return err
 }
@@ -609,7 +620,7 @@ func (bc *binConn) handleIntersection(h wire.Header, body []byte) error {
 	if m.KeyA == "" || m.KeyB == "" {
 		return bc.fail(h.RequestID, errf(400, "missing key_a or key_b"))
 	}
-	est, err := bc.srv.db.IntersectionEstimate(m.KeyA, m.KeyB)
+	est, err := bc.srv.DB().IntersectionEstimate(m.KeyA, m.KeyB)
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -639,7 +650,7 @@ func (bc *binConn) handleAdd(h wire.Header, body []byte) error {
 	if total > bc.srv.cfg.MaxBatch {
 		return bc.fail(h.RequestID, errf(413, "%d ids exceed the batch limit %d", total, bc.srv.cfg.MaxBatch))
 	}
-	if err := bc.srv.db.ApplyBatch(writes); err != nil {
+	if err := bc.srv.applyWrites(writes); err != nil {
 		return bc.fail(h.RequestID, err)
 	}
 	ack := wire.AckResult{Count: uint64(total), Keys: uint64(len(m.Sets))}
@@ -657,7 +668,7 @@ func (bc *binConn) handleRemove(h wire.Header, body []byte) error {
 	if len(m.IDs) > bc.srv.cfg.MaxBatch {
 		return bc.fail(h.RequestID, errf(413, "%d ids exceed the batch limit %d", len(m.IDs), bc.srv.cfg.MaxBatch))
 	}
-	if err := bc.srv.db.RemoveDynamic(m.Key, m.IDs...); err != nil {
+	if err := bc.srv.applyWrites([]setdb.Write{{Key: m.Key, IDs: m.IDs, Dynamic: true, Remove: true}}); err != nil {
 		return bc.fail(h.RequestID, err)
 	}
 	ack := wire.AckResult{Count: uint64(len(m.IDs)), Keys: 1}
@@ -670,4 +681,36 @@ func (bc *binConn) handleStats(h wire.Header) error {
 		return bc.fail(h.RequestID, err)
 	}
 	return bc.writeFrame(wire.OpStatsResult, 0, h.RequestID, wire.StatsResult{JSON: doc}.Encode(nil))
+}
+
+func (bc *binConn) handleSnapshot(h wire.Header) error {
+	d := bc.srv.cfg.Durability
+	if d == nil {
+		return bc.fail(h.RequestID, errf(400, "server has no durability layer (start with -data-dir)"))
+	}
+	info, err := d.Snapshot()
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	doc, err := json.Marshal(SnapshotTriggerResponse{Snapshot: info})
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	return bc.writeFrame(wire.OpSnapshotResult, 0, h.RequestID, wire.SnapshotInfoResult{JSON: doc}.Encode(nil))
+}
+
+func (bc *binConn) handleRestore(h wire.Header, body []byte) error {
+	m, err := wire.DecodeRestoreReq(body)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	// The frame-body cap already bounded the bundle; bundles beyond it
+	// must use POST /v1/restore, which streams arbitrary sizes.
+	db, err := bc.srv.restoreFromBytes(m.Data)
+	if err != nil {
+		return bc.fail(h.RequestID, err)
+	}
+	st := db.Stats()
+	ack := wire.AckResult{Count: uint64(st.Sets + st.DynamicSets), Keys: uint64(st.Sets + st.DynamicSets)}
+	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
 }

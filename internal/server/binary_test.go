@@ -55,7 +55,7 @@ func TestBinaryRoundTrips(t *testing.T) {
 	c := dialTestClient(t, addr)
 
 	// Plain sample: every id must be a member of the stored set.
-	set, err := s.db.Reconstruct("plain", 0, nil)
+	set, err := s.DB().Reconstruct("plain", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestBinaryStreamWithCredits(t *testing.T) {
 	if len(got) == 0 {
 		t.Fatal("stream returned nothing")
 	}
-	set, _ := s.db.Reconstruct("plain", 0, nil)
+	set, _ := s.DB().Reconstruct("plain", 0, nil)
 	member := map[uint64]bool{}
 	for _, id := range set {
 		member[id] = true

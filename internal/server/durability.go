@@ -1,0 +1,126 @@
+package server
+
+// Durability surface: every mutation flows through applyWrites (so a
+// configured WAL logs it before the client sees the ack), and the
+// snapshot/restore admin endpoints exposed on both protocols:
+//
+//	GET  /v1/snapshot   download a live restore bundle (works with or without a WAL)
+//	POST /v1/snapshot   trigger an on-disk snapshot (requires -data-dir)
+//	POST /v1/restore    replace the database with an uploaded bundle
+//
+// plus the binary opcodes OpSnapshot and OpRestore.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/setdb"
+	"repro/internal/wal"
+)
+
+// applyWrites runs one batch of mutations through the durability layer
+// when one is configured (apply + log + fsync before the ack), or
+// straight into the in-memory database otherwise.
+func (s *Server) applyWrites(writes []setdb.Write) error {
+	if d := s.cfg.Durability; d != nil {
+		return d.Apply(writes)
+	}
+	return s.DB().ApplyBatch(writes)
+}
+
+// handleSnapshotGet streams a live restore bundle of the current
+// database. It needs no WAL: the bundle is produced from a pinned
+// in-memory view, so this doubles as the backup/replication primitive
+// for purely in-memory servers.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="setdb.snap"`)
+	if _, err := s.DB().SnapshotView().WriteBundleTo(w); err != nil {
+		// Headers are long gone mid-stream; the aborted connection is
+		// the only signal the client needs.
+		return fmt.Errorf("%w: snapshot download: %v", errStreamAborted, err)
+	}
+	return nil
+}
+
+// SnapshotTriggerResponse is the POST /v1/snapshot payload.
+type SnapshotTriggerResponse struct {
+	Snapshot wal.SnapshotInfo `json:"snapshot"`
+}
+
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) error {
+	d := s.cfg.Durability
+	if d == nil {
+		return errf(http.StatusBadRequest, "server has no durability layer (start with -data-dir); GET /v1/snapshot still downloads a live bundle")
+	}
+	info, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, SnapshotTriggerResponse{Snapshot: info})
+	return nil
+}
+
+// RestoreResponse acknowledges a completed restore.
+type RestoreResponse struct {
+	Restored bool   `json:"restored"`
+	Sets     int    `json:"sets"`
+	Dynamic  int    `json:"dynamic_sets"`
+	Backend  string `json:"backend"`
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRestoreBytes)
+	db, err := setdb.ReadBundle(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, "restore bundle exceeds %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "bad restore bundle: %v", err)
+	}
+	if err := s.adoptDB(db); err != nil {
+		return err
+	}
+	st := db.Stats()
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		Restored: true,
+		Sets:     st.Sets,
+		Dynamic:  st.DynamicSets,
+		Backend:  string(db.Options().Backend),
+	})
+	return nil
+}
+
+// restoreFromBytes is the binary-protocol restore path.
+func (s *Server) restoreFromBytes(data []byte) (*setdb.DB, error) {
+	db, err := setdb.ReadBundle(bytes.NewReader(data))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad restore bundle: %v", err)
+	}
+	if err := s.adoptDB(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// adoptDB makes a freshly-decoded database the served one: persisted
+// through the WAL first (the restore is itself durable), then published
+// to readers, then the sampler cache — calibrated against the old
+// database's sets — is dropped wholesale.
+func (s *Server) adoptDB(db *setdb.DB) error {
+	if d := s.cfg.Durability; d != nil {
+		if err := d.RestoreDB(db); err != nil {
+			return err
+		}
+		db = d.DB()
+	}
+	s.db.Store(db)
+	s.samplers.Range(func(k, _ any) bool {
+		s.samplers.Delete(k)
+		return true
+	})
+	return nil
+}

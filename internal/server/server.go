@@ -33,18 +33,20 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/core"
 	"repro/internal/setdb"
+	"repro/internal/wal"
 )
 
 // Default request limits, shared with the bstserved flag definitions so
 // the -help text can never drift from the handler behavior.
 const (
-	DefaultMaxBatch       = 100_000
-	DefaultMaxStreamBatch = 10_000_000
-	DefaultMaxBodyBytes   = 1 << 20
-	DefaultMaxBatchSets   = 1_000
-	DefaultMaxInFlight    = 1024
-	DefaultConnWindow     = 32
-	DefaultMaxWrites      = 128
+	DefaultMaxBatch        = 100_000
+	DefaultMaxStreamBatch  = 10_000_000
+	DefaultMaxBodyBytes    = 1 << 20
+	DefaultMaxBatchSets    = 1_000
+	DefaultMaxInFlight     = 1024
+	DefaultConnWindow      = 32
+	DefaultMaxWrites       = 128
+	DefaultMaxRestoreBytes = int64(1) << 30
 )
 
 // Config bounds and seeds a Server. The zero value gets sensible
@@ -96,6 +98,17 @@ type Config struct {
 	// level backpressure — a single pipelining client saturates its own
 	// window and gets BUSY frames, not the whole server's budget.
 	ConnWindow int
+	// Durability, when set, is the write-ahead-log store behind the
+	// database: every mutating request (add/remove, both protocols) is
+	// applied through it so the write is logged before it is
+	// acknowledged, POST /v1/snapshot triggers its snapshots, and its
+	// health shows up under "durability" in /v1/stats. Nil serves the
+	// database purely in memory, exactly as before.
+	Durability *wal.Store
+	// MaxRestoreBytes caps a POST /v1/restore body (default
+	// DefaultMaxRestoreBytes). Restore bundles are full database images,
+	// so they get their own, much larger cap than MaxBodyBytes.
+	MaxRestoreBytes int64
 	// Seed makes uniform-mode sampling deterministic-ish for tests (each
 	// uniform request's rng derives from it); the plain/dynamic batch
 	// paths seed their workers internally. 0 seeds from the clock.
@@ -133,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.ConnWindow <= 0 {
 		c.ConnWindow = DefaultConnWindow
 	}
+	if c.MaxRestoreBytes <= 0 {
+		c.MaxRestoreBytes = DefaultMaxRestoreBytes
+	}
 	if c.Seed == 0 {
 		c.Seed = uint64(time.Now().UnixNano())
 	}
@@ -143,7 +159,11 @@ func (c Config) withDefaults() Config {
 // lifecycle (listening, graceful shutdown) belongs to the caller's
 // http.Server.
 type Server struct {
-	db      *setdb.DB
+	// db is atomically swappable so /v1/restore can replace the whole
+	// database underneath in-flight readers: each request loads the
+	// pointer once and finishes against a consistent (possibly
+	// just-superseded) database.
+	db      atomic.Pointer[setdb.DB]
 	cfg     Config
 	mux     *http.ServeMux
 	start   time.Time
@@ -173,15 +193,19 @@ type Server struct {
 	bin binState
 }
 
-// New builds a Server over db.
+// New builds a Server over db. When cfg.Durability is set its recovered
+// database takes precedence — the store owns the authoritative state.
 func New(db *setdb.DB, cfg Config) *Server {
 	s := &Server{
-		db:      db,
 		cfg:     cfg.withDefaults(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		metrics: map[string]*endpointMetrics{},
 	}
+	if s.cfg.Durability != nil {
+		db = s.cfg.Durability.DB()
+	}
+	s.db.Store(db)
 	s.rngs.New = func() any {
 		n := s.seq.Add(1)
 		return rand.New(rand.NewSource(int64(s.cfg.Seed ^ n*0x9E3779B97F4A7C15)))
@@ -194,6 +218,11 @@ func New(db *setdb.DB, cfg Config) *Server {
 	s.route("/v1/add", http.MethodPost, s.handleAdd, true)
 	s.route("/v1/remove", http.MethodPost, s.handleRemove, true)
 	s.route("/v1/stats", http.MethodGet, s.handleStats, false)
+	s.routeMulti("/v1/snapshot", map[string]handlerFunc{
+		http.MethodGet:  s.handleSnapshotGet,
+		http.MethodPost: s.handleSnapshotPost,
+	}, false)
+	s.route("/v1/restore", http.MethodPost, s.handleRestore, true)
 	for _, op := range binEndpoints {
 		s.metrics[op] = &endpointMetrics{}
 	}
@@ -202,6 +231,9 @@ func New(db *setdb.DB, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// DB returns the currently served database.
+func (s *Server) DB() *setdb.DB { return s.db.Load() }
 
 // apiError carries an HTTP status with a message. Handlers return it for
 // conditions they classify themselves; bare errors are classified by
@@ -245,11 +277,30 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// handlerFunc is the endpoint handler shape route/routeMulti register.
+type handlerFunc func(http.ResponseWriter, *http.Request) error
+
 // route registers one endpoint with method gating, admission control
 // and metrics. isWrite endpoints additionally pass the write sub-budget.
-func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error, isWrite bool) {
+func (s *Server) route(path, method string, h handlerFunc, isWrite bool) {
+	s.routeMulti(path, map[string]handlerFunc{method: h}, isWrite)
+}
+
+// routeMulti registers one endpoint serving several methods (e.g.
+// /v1/snapshot: GET downloads, POST triggers) behind shared admission
+// control and metrics.
+func (s *Server) routeMulti(path string, handlers map[string]handlerFunc, isWrite bool) {
 	m := &endpointMetrics{}
 	s.metrics[path] = m
+	allow := ""
+	for _, method := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+		if _, ok := handlers[method]; ok {
+			if allow != "" {
+				allow += ", "
+			}
+			allow += method
+		}
+	}
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		// Admission first, before reading the body: a shed request should
 		// cost the server nothing but the rejection write. 503 (not 429)
@@ -272,9 +323,9 @@ func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Re
 		}
 		start := time.Now()
 		var err error
-		if r.Method != method {
-			w.Header().Set("Allow", method)
-			err = errf(http.StatusMethodNotAllowed, "use %s %s", method, path)
+		if h, ok := handlers[r.Method]; !ok {
+			w.Header().Set("Allow", allow)
+			err = errf(http.StatusMethodNotAllowed, "use %s %s", allow, path)
 		} else {
 			err = h(w, r)
 		}
@@ -459,20 +510,20 @@ func (s *Server) chunkDrawer(req SampleRequest) (func(n int, rng *rand.Rand) ([]
 			return smp.SampleN(n, rng, nil)
 		}, nil
 	case req.Dynamic:
-		snap, err := s.db.SnapshotDynamic(req.Key)
+		snap, err := s.DB().SnapshotDynamic(req.Key)
 		if err != nil {
 			return nil, err
 		}
 		return func(n int, _ *rand.Rand) ([]uint64, error) {
-			return s.db.SampleManyFrom(snap, n, workers, nil)
+			return s.DB().SampleManyFrom(snap, n, workers, nil)
 		}, nil
 	default:
-		f := s.db.Filter(req.Key)
+		f := s.DB().Filter(req.Key)
 		if f == nil {
 			return nil, fmt.Errorf("%w %q", setdb.ErrNoSet, req.Key)
 		}
 		return func(n int, _ *rand.Rand) ([]uint64, error) {
-			return s.db.SampleManyFrom(f, n, workers, nil)
+			return s.DB().SampleManyFrom(f, n, workers, nil)
 		}, nil
 	}
 }
@@ -484,7 +535,7 @@ func (s *Server) uniformSampler(key string) (*setdb.Sampler, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		v, ok := s.samplers.Load(key)
 		if !ok {
-			smp, err := s.db.UniformSampler(key)
+			smp, err := s.DB().UniformSampler(key)
 			if err != nil {
 				return nil, err
 			}
@@ -502,7 +553,7 @@ func (s *Server) uniformSampler(key string) (*setdb.Sampler, error) {
 	// Two cache rounds both raced Delete/re-Adds of this key; serve the
 	// request from a fresh sampler bound to the current lifetime rather
 	// than trusting the churning cache.
-	return s.db.UniformSampler(key)
+	return s.DB().UniformSampler(key)
 }
 
 // streamSamples writes the NDJSON response: chunk-wise draws, one id per
@@ -608,19 +659,19 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 func (s *Server) reconstructIDs(key string, dynamic bool) ([]uint64, error) {
 	var f *bloom.Filter
 	if dynamic {
-		snap, err := s.db.SnapshotDynamic(key)
+		snap, err := s.DB().SnapshotDynamic(key)
 		if err != nil {
 			return nil, err
 		}
 		f = snap
-	} else if f = s.db.Filter(key); f == nil {
+	} else if f = s.DB().Filter(key); f == nil {
 		return nil, fmt.Errorf("%w %q", setdb.ErrNoSet, key)
 	}
 	if est := f.EstimateCardinality(); est > float64(s.cfg.MaxBatch) {
 		return nil, errf(http.StatusRequestEntityTooLarge,
 			"set %q holds an estimated %.0f elements, above the %d reconstruction limit", key, est, s.cfg.MaxBatch)
 	}
-	ids, err := s.db.Tree().Reconstruct(f, core.PruneByEstimate, nil)
+	ids, err := s.DB().Tree().Reconstruct(f, core.PruneByEstimate, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +702,7 @@ func (s *Server) handleIntersection(w http.ResponseWriter, r *http.Request) erro
 	if req.KeyA == "" || req.KeyB == "" {
 		return errf(http.StatusBadRequest, "missing key_a or key_b")
 	}
-	est, err := s.db.IntersectionEstimate(req.KeyA, req.KeyB)
+	est, err := s.DB().IntersectionEstimate(req.KeyA, req.KeyB)
 	if err != nil {
 		return err
 	}
@@ -708,13 +759,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 	if len(req.IDs) > s.cfg.MaxBatch {
 		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", len(req.IDs), s.cfg.MaxBatch)
 	}
-	var err error
-	if req.Dynamic {
-		err = s.db.AddDynamic(req.Key, req.IDs...)
-	} else {
-		err = s.db.Add(req.Key, req.IDs...)
-	}
-	if err != nil {
+	if err := s.applyWrites([]setdb.Write{{Key: req.Key, IDs: req.IDs, Dynamic: req.Dynamic}}); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, AddResponse{Key: req.Key, Added: len(req.IDs)})
@@ -745,7 +790,7 @@ func (s *Server) addBatch(w http.ResponseWriter, req AddRequest) error {
 	if total > s.cfg.MaxBatch {
 		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", total, s.cfg.MaxBatch)
 	}
-	if err := s.db.ApplyBatch(writes); err != nil {
+	if err := s.applyWrites(writes); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, AddResponse{Added: total, Keys: len(req.Sets)})
@@ -777,7 +822,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) error {
 	if len(req.IDs) > s.cfg.MaxBatch {
 		return errf(http.StatusRequestEntityTooLarge, "%d ids exceed the batch limit %d", len(req.IDs), s.cfg.MaxBatch)
 	}
-	if err := s.db.RemoveDynamic(req.Key, req.IDs...); err != nil {
+	if err := s.applyWrites([]setdb.Write{{Key: req.Key, IDs: req.IDs, Dynamic: true, Remove: true}}); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, RemoveResponse{Key: req.Key, Removed: len(req.IDs)})
@@ -868,6 +913,7 @@ type StatsResponse struct {
 	Options       OptionsStats             `json:"options"`
 	DB            DBStats                  `json:"db"`
 	Wire          WireStats                `json:"wire"`
+	Durability    *wal.Stats               `json:"durability,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Samplers      map[string]SamplerStats  `json:"samplers,omitempty"`
 }
@@ -880,7 +926,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 // statsResponse assembles the stats document served by both GET
 // /v1/stats and the binary OpStats — one schema, two framings.
 func (s *Server) statsResponse() StatsResponse {
-	st := s.db.Stats()
+	st := s.DB().Stats()
 	// One clock read: the QPS denominators below must agree with the
 	// uptime field they ship with.
 	uptime := time.Since(s.start)
@@ -906,7 +952,7 @@ func (s *Server) statsResponse() StatsResponse {
 		},
 		Endpoints: map[string]EndpointStats{},
 	}
-	opts := s.db.Options()
+	opts := s.DB().Options()
 	resp.Options = OptionsStats{
 		Namespace: opts.Namespace,
 		Bits:      opts.Bits,
@@ -947,6 +993,10 @@ func (s *Server) statsResponse() StatsResponse {
 		WritesInFlight: s.writeGate.inUse(),
 		MaxWrites:      s.cfg.MaxWrites,
 		ConnWindow:     s.cfg.ConnWindow,
+	}
+	if d := s.cfg.Durability; d != nil {
+		ds := d.Stats()
+		resp.Durability = &ds
 	}
 	for path, m := range s.metrics {
 		resp.Endpoints[path] = m.snapshot(uptime)

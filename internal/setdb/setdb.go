@@ -605,69 +605,7 @@ func (db *DB) snapshotAll() [numShards]*shardState {
 // snapshot is consistent across shards; neither readers nor writers are
 // blocked while the bytes are produced.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
-	states := db.snapshotAll()
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	if _, err := bw.WriteString(dbMagic); err != nil {
-		return cw.n, err
-	}
-	kind := string(db.opts.HashKind)
-	hdr := make([]byte, 0, 64)
-	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Namespace)
-	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Bits)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(db.opts.K))
-	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.Seed)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(db.opts.TreeDepth))
-	hdr = binary.LittleEndian.AppendUint64(hdr, db.opts.DesignSetSize)
-	if db.opts.Pruned {
-		hdr = append(hdr, 1)
-	} else {
-		hdr = append(hdr, 0)
-	}
-	hdr = append(hdr, byte(len(kind)))
-	hdr = append(hdr, kind...)
-	backend := string(db.opts.Backend)
-	hdr = append(hdr, byte(len(backend)))
-	hdr = append(hdr, backend...)
-	if _, err := bw.Write(hdr); err != nil {
-		return cw.n, err
-	}
-
-	var keys []string
-	for i := range states {
-		states[i].sets.rangeAll(func(k string, _ setEntry) {
-			keys = append(keys, k)
-		})
-	}
-	sort.Strings(keys)
-	lookupSet := func(k string) (membership.Membership, error) {
-		h := keyHash(k)
-		e, _ := states[h%numShards].sets.get(h, k)
-		return e.f, nil
-	}
-	if err := writeSection(bw, keys, lookupSet); err != nil {
-		return cw.n, err
-	}
-
-	keys = keys[:0]
-	for i := range states {
-		states[i].dynamic.rangeAll(func(k string, _ membership.DynamicMembership) {
-			keys = append(keys, k)
-		})
-	}
-	sort.Strings(keys)
-	lookupDynamic := func(k string) (membership.Membership, error) {
-		h := keyHash(k)
-		c, _ := states[h%numShards].dynamic.get(h, k)
-		return c, nil
-	}
-	if err := writeSection(bw, keys, lookupDynamic); err != nil {
-		return cw.n, err
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
+	return db.SnapshotView().WriteTo(w)
 }
 
 // writeSection serializes one keyed section (plain or dynamic): a count,

@@ -355,6 +355,55 @@ func DecodeStatsResult(body []byte) (StatsResult, error) {
 	return m, r.done()
 }
 
+// SnapshotInfoResult is the body of OpSnapshotResult: the snapshot
+// descriptor as JSON (the same document POST /v1/snapshot returns),
+// length-prefixed like StatsResult — snapshots are an operator surface.
+type SnapshotInfoResult struct{ JSON []byte }
+
+func (m SnapshotInfoResult) Encode(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(m.JSON)))
+	return append(dst, m.JSON...)
+}
+
+func DecodeSnapshotInfoResult(body []byte) (SnapshotInfoResult, error) {
+	r := newBodyReader(body)
+	n := r.uvarint("json.len")
+	if r.err == nil && n > uint64(len(r.b)) {
+		r.fail("json.len")
+	}
+	m := SnapshotInfoResult{}
+	if r.err == nil {
+		m.JSON = append([]byte(nil), r.b[:n]...)
+		r.b = r.b[n:]
+	}
+	return m, r.done()
+}
+
+// RestoreReq is the body of OpRestore: a complete restore bundle
+// (setdb.WriteBundleTo bytes), length-prefixed. The frame-body cap
+// bounds it — bundles beyond the server's MaxBodyBytes must use the
+// HTTP surface, which streams.
+type RestoreReq struct{ Data []byte }
+
+func (m RestoreReq) Encode(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+func DecodeRestoreReq(body []byte) (RestoreReq, error) {
+	r := newBodyReader(body)
+	n := r.uvarint("data.len")
+	if r.err == nil && n > uint64(len(r.b)) {
+		r.fail("data.len")
+	}
+	m := RestoreReq{}
+	if r.err == nil {
+		m.Data = append([]byte(nil), r.b[:n]...)
+		r.b = r.b[n:]
+	}
+	return m, r.done()
+}
+
 // ErrorResult is the body of OpError.
 type ErrorResult struct {
 	Code uint64

@@ -50,22 +50,25 @@ const DefaultMaxBody = 1 << 20
 // ranges do not overlap so a trace is unambiguous about direction.
 const (
 	// Requests.
-	OpSample       byte = 1 // SampleReq → OpSampleResult (buffered)
-	OpSampleStream byte = 2 // SampleReq → OpSampleChunk frames, last one FlagFinal
-	OpCredit       byte = 3 // CreditGrant: replenish a stream's sample credit
-	OpReconstruct  byte = 4 // ReconstructReq → OpIDsResult
-	OpIntersection byte = 5 // IntersectionReq → OpEstimateResult
-	OpAdd          byte = 6 // AddReq → OpAckResult
-	OpRemove       byte = 7 // RemoveReq → OpAckResult
-	OpStats        byte = 8 // empty body → OpStatsResult
+	OpSample       byte = 1  // SampleReq → OpSampleResult (buffered)
+	OpSampleStream byte = 2  // SampleReq → OpSampleChunk frames, last one FlagFinal
+	OpCredit       byte = 3  // CreditGrant: replenish a stream's sample credit
+	OpReconstruct  byte = 4  // ReconstructReq → OpIDsResult
+	OpIntersection byte = 5  // IntersectionReq → OpEstimateResult
+	OpAdd          byte = 6  // AddReq → OpAckResult
+	OpRemove       byte = 7  // RemoveReq → OpAckResult
+	OpStats        byte = 8  // empty body → OpStatsResult
+	OpSnapshot     byte = 9  // empty body: trigger a durability snapshot → OpSnapshotResult
+	OpRestore      byte = 10 // RestoreReq (a bundle) → OpAckResult
 
 	// Responses.
 	OpSampleResult   byte = 16 // SampleResult
 	OpSampleChunk    byte = 17 // SampleChunk (stream; FlagFinal on the last)
 	OpIDsResult      byte = 18 // IDsResult (reconstruction)
 	OpEstimateResult byte = 19 // EstimateResult (intersection)
-	OpAckResult      byte = 20 // AckResult (add/remove)
+	OpAckResult      byte = 20 // AckResult (add/remove/restore)
 	OpStatsResult    byte = 21 // StatsResult (JSON payload)
+	OpSnapshotResult byte = 22 // SnapshotInfoResult (JSON payload)
 	OpBusy           byte = 30 // empty body: admission control shed this request; retry later
 	OpError          byte = 31 // ErrorResult
 )
