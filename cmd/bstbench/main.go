@@ -7,6 +7,7 @@
 //	bstbench -exp tab5 -csv out/    # also write CSV files
 //	bstbench -exp concurrency       # sampled-per-second vs goroutine count
 //	bstbench -exp serving -json BENCH_serving.json   # HTTP serving-layer load test
+//	bstbench -exp obs -json BENCH_obs.json           # observability overhead: tracing+metrics on vs off
 //	bstbench -exp hash -json BENCH_hash.json         # hash family × k × batch sweep
 //	bstbench -list                  # show available experiment ids
 //
@@ -125,6 +126,10 @@ func main() {
 			fmt.Println()
 		}
 		if line, ok := experiments.ServingSummary(tables); ok {
+			fmt.Println(line)
+			fmt.Println()
+		}
+		if line, ok := experiments.ObsSummary(tables); ok {
 			fmt.Println(line)
 			fmt.Println()
 		}

@@ -16,6 +16,13 @@
 //	estimate <id> <id2>      estimate the intersection size of two filters
 //	info [id]                tree parameters, or filter stats
 //	quit
+//
+// Subcommands (non-interactive):
+//
+//	bstcli stats [-addr http://127.0.0.1:8080]
+//	    fetch /v1/stats from a running bstserved and print it as a
+//	    compact table: uptime, database, wire and durability state,
+//	    plus per-endpoint latency percentiles.
 package main
 
 import (
@@ -31,6 +38,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	var (
 		M    = flag.Uint64("M", 1_000_000, "namespace size")
 		acc  = flag.Float64("acc", 0.9, "desired sampling accuracy")

@@ -25,12 +25,19 @@
 // BUSY-shedding admission control. See the README's "Binary wire
 // protocol" section.
 //
+// With -admin-addr set, a third listener serves the operational
+// surface: /metrics (Prometheus text exposition), /healthz, /readyz and
+// /debug/pprof — kept off the data-plane port on purpose. Logs are
+// structured (-log-level, -log-format); requests slower than
+// -slow-request are logged at warn with a per-stage breakdown.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: both listeners
 // stop accepting, idle keep-alive connections are closed immediately,
 // and in-flight requests (streams included) get -shutdown-timeout to
 // finish before the remaining connections are force-closed. The drain is
 // hard-bounded: a client holding a stream open cannot stall the exit
-// past the deadline.
+// past the deadline. /readyz flips to 503 the moment the signal lands,
+// before the drain starts, so load balancers stop routing new work.
 package main
 
 import (
@@ -39,7 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -50,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/setdb"
 	"repro/internal/wal"
@@ -79,19 +87,34 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); writes are logged before they are acknowledged and the database survives restarts (exclusive with -db)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, never, or a duration (e.g. 100ms) for interval syncing")
 		snapEvery = flag.Duration("snapshot-interval", 0, "background snapshot period with -data-dir (0: snapshot only via POST /v1/snapshot)")
-		addrFile  = flag.String("addr-file", "", "write the bound listener addresses to this file once serving (http=... and bin=... lines); for test harnesses using port 0")
+		addrFile  = flag.String("addr-file", "", "write the bound listener addresses to this file once serving (http=..., bin=... and admin=... lines); for test harnesses using port 0")
+		adminAddr = flag.String("admin-addr", "", "admin listen address serving /metrics, /healthz, /readyz and /debug/pprof (empty: disabled)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		slowReq   = flag.Duration("slow-request", time.Second, "log requests slower than this at warn with per-stage timings (0: disabled)")
+		noTrace   = flag.Bool("no-trace", false, "disable request tracing (request IDs, per-stage timings)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bstserved: %v\n", err)
+		os.Exit(1)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	var db *setdb.DB
 	var store *wal.Store
 	if *dataDir != "" {
 		if *dbPath != "" {
-			log.Fatal("bstserved: -data-dir and -db are exclusive (restore a file into a data dir via POST /v1/restore)")
+			fatalf("-data-dir and -db are exclusive (restore a file into a data dir via POST /v1/restore)")
 		}
 		policy, interval, err := parseFsync(*fsync)
 		if err != nil {
-			log.Fatalf("bstserved: %v", err)
+			fatalf("%v", err)
 		}
 		store, err = wal.Open(*dataDir, func() (*setdb.DB, error) {
 			return openDB("", "", *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
@@ -99,25 +122,26 @@ func main() {
 			Fsync:            policy,
 			FsyncInterval:    interval,
 			SnapshotInterval: *snapEvery,
-			Logf:             log.Printf,
+			Logger:           logger,
 		})
 		if err != nil {
-			log.Fatalf("bstserved: %v", err)
+			fatalf("%v", err)
 		}
 		defer store.Close()
 		db = store.DB()
 		ws := store.Stats()
-		log.Printf("durability: %s (fsync %s): %d records replayed, %d skipped, %d torn tail bytes dropped",
-			*dataDir, ws.FsyncPolicy, ws.ReplayedAtBoot, ws.SkippedAtBoot, ws.DroppedTailBytes)
+		logger.Info("durability open", "dir", *dataDir, "fsync", ws.FsyncPolicy,
+			"replayed", ws.ReplayedAtBoot, "skipped", ws.SkippedAtBoot,
+			"dropped_tail_bytes", ws.DroppedTailBytes)
 	} else {
 		var err error
 		db, err = openDB(*dbPath, *idsPath, *noSpace, *setSize, *accuracy, *k, *pruned, *backend)
 		if err != nil {
-			log.Fatalf("bstserved: %v", err)
+			fatalf("%v", err)
 		}
 	}
 	bk := db.Stats().Backend
-	log.Printf("membership backend: %s (%d dynamic entries, %d bytes)", bk.Kind, bk.Entries, bk.MemoryBytes)
+	logger.Info("membership backend", "kind", bk.Kind, "entries", bk.Entries, "bytes", bk.MemoryBytes)
 	if *demo > 0 {
 		rng := rand.New(rand.NewSource(1))
 		ids := make([]uint64, *demo)
@@ -125,15 +149,16 @@ func main() {
 			ids[i] = rng.Uint64() % db.Options().Namespace
 		}
 		if err := db.Add("demo", ids...); err != nil {
-			log.Fatalf("bstserved: preload demo set: %v", err)
+			fatalf("preload demo set: %v", err)
 		}
-		log.Printf("preloaded plain set %q with %d ids", "demo", *demo)
+		logger.Info("preloaded demo set", "key", "demo", "ids", *demo)
 	}
 
 	api := server.New(db, server.Config{
 		MaxBatch: *maxBatch, MaxBatchSets: *maxSets, MaxStreamBatch: *maxStream, MaxBodyBytes: *maxBody,
 		MaxInFlight: *inflight, MaxWrites: *maxWrites, ConnWindow: *connWin,
 		Durability: store,
+		Logger:     logger, SlowRequest: *slowReq, TraceDisabled: *noTrace,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -154,11 +179,11 @@ func main() {
 	// it.
 	httpLn, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("bstserved: %v", err)
+		fatalf("%v", err)
 	}
 	errc := make(chan error, 2)
 	go func() {
-		log.Printf("serving %d sets on %s (HTTP/JSON)", db.Len(), httpLn.Addr())
+		logger.Info("serving HTTP/JSON", "addr", httpLn.Addr().String(), "sets", db.Len())
 		errc <- srv.Serve(httpLn)
 	}()
 	binServing := false
@@ -166,33 +191,55 @@ func main() {
 	if *binAddr != "" {
 		ln, err := net.Listen("tcp", *binAddr)
 		if err != nil {
-			log.Fatalf("bstserved: binary listener: %v", err)
+			fatalf("binary listener: %v", err)
 		}
 		binServing = true
 		addrs += fmt.Sprintf("bin=%s\n", ln.Addr())
 		go func() {
-			log.Printf("serving binary protocol on %s", ln.Addr())
+			logger.Info("serving binary protocol", "addr", ln.Addr().String())
 			errc <- api.ServeBinary(ln)
+		}()
+	}
+	// The admin plane is deliberately not on errc: it must outlive the
+	// data-plane drain (so /readyz reports not-ready and /metrics stays
+	// scrapeable during shutdown) and is closed last.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatalf("admin listener: %v", err)
+		}
+		addrs += fmt.Sprintf("admin=%s\n", ln.Addr())
+		adminSrv = &http.Server{Handler: api.AdminHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Info("serving admin", "addr", ln.Addr().String())
+			if err := adminSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "error", err)
+			}
 		}()
 	}
 	if *addrFile != "" {
 		// Temp-and-rename so a reader never sees a partial file.
 		tmp := *addrFile + ".tmp"
 		if err := os.WriteFile(tmp, []byte(addrs), 0o644); err != nil {
-			log.Fatalf("bstserved: writing -addr-file: %v", err)
+			fatalf("writing -addr-file: %v", err)
 		}
 		if err := os.Rename(tmp, *addrFile); err != nil {
-			log.Fatalf("bstserved: writing -addr-file: %v", err)
+			fatalf("writing -addr-file: %v", err)
 		}
 	}
+	// Ready only now: WAL replay (synchronous in wal.Open) is done and
+	// every listener is accepting.
+	api.SetReady(true)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("bstserved: %v", err)
+		fatalf("%v", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received; draining for up to %v", *shutdown)
-		drain(srv, api, binServing, *shutdown)
+		api.SetReady(false)
+		logger.Info("signal received; draining", "timeout", (*shutdown).String())
+		drain(logger, srv, api, binServing, *shutdown)
 		// Collect the listener goroutines' exits; anything but the two
 		// clean-close sentinels is a real failure.
 		n := 1
@@ -201,10 +248,13 @@ func main() {
 		}
 		for i := 0; i < n; i++ {
 			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, server.ErrBinaryClosed) {
-				log.Fatalf("bstserved: %v", err)
+				fatalf("%v", err)
 			}
 		}
-		log.Print("bye")
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
+		logger.Info("bye")
 	}
 }
 
@@ -214,7 +264,7 @@ func main() {
 // for HTTP, ShutdownBinary for the binary side); a stream still mid-
 // flight when the deadline hits is cut, deliberately — a slow client
 // must not be able to hold the process alive past -shutdown-timeout.
-func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.Duration) {
+func drain(logger *slog.Logger, srv *http.Server, api *server.Server, binServing bool, timeout time.Duration) {
 	sctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	// Stop handing out new keep-alive sessions right away, so connections
@@ -225,7 +275,7 @@ func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.D
 		if err := srv.Shutdown(sctx); err != nil {
 			// Deadline hit with requests still running: bound the drain by
 			// force-closing instead of leaking the listener and hanging.
-			log.Printf("drain deadline exceeded, force-closing HTTP: %v", err)
+			logger.Warn("drain deadline exceeded, force-closing HTTP", "error", err)
 			srv.Close()
 		}
 		done <- struct{}{}
@@ -233,7 +283,7 @@ func drain(srv *http.Server, api *server.Server, binServing bool, timeout time.D
 	go func() {
 		if binServing {
 			if err := api.ShutdownBinary(sctx); err != nil {
-				log.Printf("drain deadline exceeded, force-closed binary connections: %v", err)
+				logger.Warn("drain deadline exceeded, force-closed binary connections", "error", err)
 			}
 		}
 		done <- struct{}{}

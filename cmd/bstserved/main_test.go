@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/setdb"
 	"repro/internal/wire"
@@ -90,7 +91,7 @@ func TestDrainBoundedWithStreamsMidFlight(t *testing.T) {
 	start := time.Now()
 	done := make(chan struct{})
 	go func() {
-		drain(srv, api, true, 300*time.Millisecond)
+		drain(obs.NopLogger(), srv, api, true, 300*time.Millisecond)
 		close(done)
 	}()
 	select {

@@ -207,6 +207,7 @@ func Registry() map[string]Runner {
 		"abl-hashinvert":  RunAblationHashInvert,
 		"concurrency":     RunConcurrency,
 		"serving":         RunServing,
+		"obs":             RunObs,
 		"writeamp":        RunWriteAmp,
 		"recovery":        RunRecovery,
 		"hash":            RunHash,
@@ -223,7 +224,7 @@ func ExperimentIDs() []string {
 		"fig13", "fig14", "fig15",
 		"abl-threshold", "abl-multisample", "abl-build", "abl-hashinvert",
 		"abl-parallel", "abl-dynamic",
-		"concurrency", "serving", "writeamp", "recovery", "hash", "backend",
+		"concurrency", "serving", "obs", "writeamp", "recovery", "hash", "backend",
 	}
 }
 

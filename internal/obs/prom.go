@@ -1,0 +1,203 @@
+// Package obs is the dependency-free observability spine of the
+// serving stack: a Prometheus text-format exposition writer, request
+// tracing (request IDs plus per-stage timings), and log/slog plumbing.
+// It deliberately imports nothing beyond the standard library — the
+// server packages depend on it, never the other way around.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric family types of the Prometheus exposition format.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one name="value" pair on a series.
+type Label struct{ Name, Value string }
+
+// L builds a Label; collect code reads better with obs.L("endpoint", p)
+// than with struct literals.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// sample is one exposition line: family name + optional suffix
+// (_bucket, _sum, _count), labels, value.
+type sample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// family is one metric family: HELP/TYPE header plus its samples in
+// insertion order.
+type family struct {
+	name, help, typ string
+	samples         []sample
+}
+
+// Exposition accumulates metric families and renders them in the
+// Prometheus text format (version 0.0.4). Families are sorted by name
+// on output and series keep their insertion order within a family, so
+// two collections over the same state render byte-identically — the
+// "stable series ordering" contract the tests pin.
+//
+// The zero value is not usable; start from NewExposition.
+type Exposition struct {
+	byName map[string]*family
+	order  []string
+}
+
+// NewExposition returns an empty exposition document.
+func NewExposition() *Exposition {
+	return &Exposition{byName: map[string]*family{}}
+}
+
+// fam returns (creating on first use) the named family. The first
+// declaration fixes help and type; later calls must agree — a family
+// emitted under two types would be malformed exposition.
+func (e *Exposition) fam(name, help, typ string) *family {
+	if f, ok := e.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric family %s declared as both %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	e.byName[name] = f
+	e.order = append(e.order, name)
+	return f
+}
+
+// Counter adds one sample to a counter family.
+func (e *Exposition) Counter(name, help string, v float64, labels ...Label) {
+	f := e.fam(name, help, TypeCounter)
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// Gauge adds one sample to a gauge family.
+func (e *Exposition) Gauge(name, help string, v float64, labels ...Label) {
+	f := e.fam(name, help, TypeGauge)
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// Histogram adds one histogram series from per-bucket (NOT cumulative)
+// counts. uppers are the finite upper bounds, in ascending order, of
+// the first len(uppers) buckets; counts must have exactly one more
+// entry — the overflow bucket, which becomes the +Inf bucket. The
+// cumulative _bucket series, the implicit +Inf bucket (always equal to
+// _count) and the _sum/_count samples are derived here, so a histogram
+// emitted through this method is monotone by construction.
+func (e *Exposition) Histogram(name, help string, labels []Label, uppers []float64, counts []uint64, sum float64) {
+	if len(counts) != len(uppers)+1 {
+		panic(fmt.Sprintf("obs: histogram %s: %d counts for %d finite bounds (want bounds+1)", name, len(counts), len(uppers)))
+	}
+	f := e.fam(name, help, TypeHistogram)
+	cum := uint64(0)
+	for i, upper := range uppers {
+		cum += counts[i]
+		f.samples = append(f.samples, sample{
+			suffix: "_bucket",
+			labels: append(append([]Label{}, labels...), L("le", formatValue(upper))),
+			value:  float64(cum),
+		})
+	}
+	cum += counts[len(counts)-1]
+	f.samples = append(f.samples, sample{
+		suffix: "_bucket",
+		labels: append(append([]Label{}, labels...), L("le", "+Inf")),
+		value:  float64(cum),
+	})
+	f.samples = append(f.samples,
+		sample{suffix: "_sum", labels: labels, value: sum},
+		sample{suffix: "_count", labels: labels, value: float64(cum)},
+	)
+}
+
+// WriteTo renders the document. Families print in name order; each
+// family prints its HELP and TYPE header once, then its samples.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	names := append([]string{}, e.order...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := e.byName[name]
+		if len(f.samples) == 0 {
+			// A family with no samples renders nothing: a bare # TYPE
+			// header with no series trips scrape validators.
+			continue
+		}
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			writeLabels(&b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeHelp escapes a HELP line: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote and
+// newline, per the exposition-format spec.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the infinities spelled the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, e *Exposition) string {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := e.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	e := NewExposition()
+	e.Gauge("g", "help with \\ backslash\nand newline", 1,
+		L("path", `quoted "value" with \ and`+"\nnewline"))
+	out := render(t, e)
+	wantHelp := `# HELP g help with \\ backslash\nand newline`
+	if !strings.Contains(out, wantHelp+"\n") {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	wantSeries := `g{path="quoted \"value\" with \\ and\nnewline"} 1`
+	if !strings.Contains(out, wantSeries+"\n") {
+		t.Errorf("label value not escaped, want %q in:\n%s", wantSeries, out)
+	}
+	// The rendered output must stay line-parseable: exactly one
+	// unescaped newline per sample line.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("got %d lines, want 3 (HELP, TYPE, series):\n%s", got, out)
+	}
+}
+
+func TestHistogramCumulativeAndInf(t *testing.T) {
+	e := NewExposition()
+	uppers := []float64{0.001, 0.01, 0.1}
+	counts := []uint64{5, 0, 3, 2} // last = overflow bucket
+	e.Histogram("h", "latency", []Label{L("endpoint", "/x")}, uppers, counts, 1.25)
+	out := render(t, e)
+
+	// Parse the bucket series back and check monotone cumulative counts
+	// with the +Inf bucket equal to _count.
+	var bucketVals []float64
+	var infVal, countVal, sumVal float64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q has %d fields, want 2", line, len(fields))
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		switch {
+		case strings.Contains(line, `le="+Inf"`):
+			infVal = v
+		case strings.HasPrefix(line, "h_bucket"):
+			bucketVals = append(bucketVals, v)
+		case strings.HasPrefix(line, "h_sum"):
+			sumVal = v
+		case strings.HasPrefix(line, "h_count"):
+			countVal = v
+		}
+	}
+	if len(bucketVals) != len(uppers) {
+		t.Fatalf("got %d finite buckets, want %d", len(bucketVals), len(uppers))
+	}
+	want := []float64{5, 5, 8}
+	for i, v := range bucketVals {
+		if v != want[i] {
+			t.Errorf("bucket %d = %v, want %v (cumulative)", i, v, want[i])
+		}
+		if i > 0 && v < bucketVals[i-1] {
+			t.Errorf("bucket %d = %v < previous %v: not monotone", i, v, bucketVals[i-1])
+		}
+	}
+	if infVal != 10 {
+		t.Errorf("+Inf bucket = %v, want 10 (total)", infVal)
+	}
+	if countVal != infVal {
+		t.Errorf("_count %v != +Inf bucket %v", countVal, infVal)
+	}
+	if sumVal != 1.25 {
+		t.Errorf("_sum = %v, want 1.25", sumVal)
+	}
+}
+
+func TestStableSeriesOrdering(t *testing.T) {
+	build := func() *Exposition {
+		e := NewExposition()
+		// Families declared out of name order; series for several label
+		// sets interleaved.
+		e.Counter("zzz_total", "last family", 1)
+		for _, ep := range []string{"/v1/sample", "/v1/add", "/v1/stats"} {
+			e.Counter("aaa_requests_total", "first family", 7, L("endpoint", ep))
+		}
+		e.Histogram("mid_seconds", "a histogram", nil, []float64{1, 2}, []uint64{1, 2, 3}, 9)
+		return e
+	}
+	a, b := render(t, build()), render(t, build())
+	if a != b {
+		t.Fatalf("two renders differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	// Families must come out sorted by name.
+	za := strings.Index(a, "# TYPE zzz_total")
+	ma := strings.Index(a, "# TYPE mid_seconds")
+	aa := strings.Index(a, "# TYPE aaa_requests_total")
+	if !(aa < ma && ma < za) {
+		t.Errorf("families not name-sorted (aaa@%d mid@%d zzz@%d):\n%s", aa, ma, za, a)
+	}
+	// Series within a family keep insertion order.
+	s1 := strings.Index(a, `endpoint="/v1/sample"`)
+	s2 := strings.Index(a, `endpoint="/v1/add"`)
+	s3 := strings.Index(a, `endpoint="/v1/stats"`)
+	if !(s1 < s2 && s2 < s3) {
+		t.Errorf("series lost insertion order:\n%s", a)
+	}
+}
+
+func TestNoDuplicateSeriesAndTypedSamples(t *testing.T) {
+	// The CI smoke asserts this shape on a live scrape; pin the same
+	// invariants at the unit level: every TYPE has ≥1 sample and no
+	// series key repeats.
+	e := NewExposition()
+	e.Gauge("up", "", 1)
+	for i := 0; i < 3; i++ {
+		e.Counter("reqs_total", "", float64(i), L("i", fmt.Sprint(i)))
+	}
+	e.Histogram("lat", "", nil, []float64{0.5}, []uint64{1, 1}, 0.7)
+	out := render(t, e)
+	seen := map[string]bool{}
+	declared := map[string]bool{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			declared[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			t.Errorf("duplicate series %q", key)
+		}
+		seen[key] = true
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		sampled[name] = true
+	}
+	for fam := range declared {
+		if !sampled[fam] {
+			t.Errorf("family %s declared but has no samples", fam)
+		}
+	}
+	// And a family with zero samples renders nothing at all.
+	e2 := NewExposition()
+	e2.fam("empty_total", "", TypeCounter)
+	if out := render(t, e2); out != "" {
+		t.Errorf("empty family rendered %q, want nothing", out)
+	}
+}
+
+func TestFormatValueInf(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("+Inf rendered %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf rendered %q", got)
+	}
+	if got := formatValue(0.25); got != "0.25" {
+		t.Errorf("0.25 rendered %q", got)
+	}
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/setdb"
+)
+
+// newObsServer builds a Server (not just its handler) so tests can
+// reach SetReady and AdminHandler, plus httptest frontends for both the
+// data and admin planes.
+func newObsServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	opts, err := setdb.PlanOptions(0.9, 256, 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Pruned = true
+	opts.Seed = 7
+	db, err := setdb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add("plain", 1, 2, 3, 4, 5, 6, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 42
+	srv := New(db, cfg)
+	data := httptest.NewServer(srv)
+	admin := httptest.NewServer(srv.AdminHandler())
+	t.Cleanup(data.Close)
+	t.Cleanup(admin.Close)
+	return srv, data, admin
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsExposition drives traffic through the HTTP plane and then
+// validates the scrape end to end: declared families all have samples,
+// no series repeats, histograms are cumulative with +Inf == _count, and
+// the per-endpoint and per-stage series show the traffic just sent.
+func TestMetricsExposition(t *testing.T) {
+	srv, data, admin := newObsServer(t, Config{})
+	srv.SetReady(true)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(data.URL+"/v1/sample", "application/json",
+			strings.NewReader(`{"key":"plain","n":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	code, body := get(t, admin.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+
+	declared := map[string]bool{}
+	sampled := map[string]bool{}
+	series := map[string]bool{}
+	var bucketPrev float64
+	var bucketFamily string
+	var infVal, countVal float64
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			declared[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if series[key] {
+			t.Errorf("duplicate series %q", key)
+		}
+		series[key] = true
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		sampled[base] = true
+
+		// Cumulative monotonicity for the request-duration histogram of
+		// the sampled endpoint, bucket order as rendered.
+		if strings.HasPrefix(key, `bst_request_duration_seconds_bucket{endpoint="/v1/sample"`) {
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value %q: %v", line, err)
+			}
+			if bucketFamily == key[:40] && v < bucketPrev {
+				t.Errorf("histogram not cumulative at %q: %v < %v", key, v, bucketPrev)
+			}
+			bucketFamily = key[:40]
+			bucketPrev = v
+			if strings.Contains(key, `le="+Inf"`) {
+				infVal = v
+			}
+		}
+		if strings.HasPrefix(key, `bst_request_duration_seconds_count{endpoint="/v1/sample"`) {
+			countVal, _ = strconv.ParseFloat(valStr, 64)
+		}
+	}
+	for fam := range declared {
+		if !sampled[fam] {
+			t.Errorf("family %s declared with # TYPE but has no samples", fam)
+		}
+	}
+	if infVal != 3 || countVal != 3 {
+		t.Errorf("+Inf bucket %v / _count %v, want 3 requests", infVal, countVal)
+	}
+	for _, want := range []string{
+		`bst_requests_total{endpoint="/v1/sample"} 3`,
+		`bst_request_stage_duration_seconds_count{endpoint="/v1/sample",stage="decode"} 3`,
+		`bst_request_stage_duration_seconds_count{endpoint="/v1/sample",stage="execute"} 3`,
+		"bst_ready 1",
+		"bst_go_goroutines",
+		`bst_admission_limit{budget="global"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestHealthzReadyzLifecycle walks /readyz through the serving
+// lifecycle: not ready at boot (replay may still be running), ready
+// after SetReady(true), not ready again once drain begins — while
+// /healthz stays 200 throughout.
+func TestHealthzReadyzLifecycle(t *testing.T) {
+	srv, _, admin := newObsServer(t, Config{})
+	if code, _ := get(t, admin.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz at boot: %d", code)
+	}
+	if code, _ := get(t, admin.URL+"/readyz"); code != 503 {
+		t.Errorf("readyz before SetReady: %d, want 503", code)
+	}
+	srv.SetReady(true)
+	if code, _ := get(t, admin.URL+"/readyz"); code != 200 {
+		t.Errorf("readyz after SetReady(true): %d", code)
+	}
+	srv.SetReady(false) // drain begins
+	if code, _ := get(t, admin.URL+"/readyz"); code != 503 {
+		t.Errorf("readyz during drain: %d, want 503", code)
+	}
+	if code, _ := get(t, admin.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz during drain: %d", code)
+	}
+}
+
+func TestPprofIndexServed(t *testing.T) {
+	_, _, admin := newObsServer(t, Config{})
+	code, body := get(t, admin.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+}
+
+// TestRequestIDPropagation covers the three header cases: a well-formed
+// client ID is propagated, a malformed one is replaced, and no header
+// gets a generated ID. Error responses must carry the ID in the body.
+func TestRequestIDPropagation(t *testing.T) {
+	_, data, _ := newObsServer(t, Config{})
+	req, _ := http.NewRequest("POST", data.URL+"/v1/sample", strings.NewReader(`{"key":"plain"}`))
+	req.Header.Set("X-Request-ID", "client-id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-id-42" {
+		t.Errorf("well-formed client ID not propagated: %q", got)
+	}
+
+	req, _ = http.NewRequest("POST", data.URL+"/v1/sample", strings.NewReader(`{"key":"plain"}`))
+	req.Header.Set("X-Request-ID", "has spaces and {braces}")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	got := resp.Header.Get("X-Request-ID")
+	if got == "" || strings.Contains(got, " ") || len(got) != 16 {
+		t.Errorf("malformed client ID should be replaced by a generated one, got %q", got)
+	}
+
+	// Error responses echo the ID in the JSON body.
+	resp, err = http.Post(data.URL+"/v1/sample", "application/json",
+		strings.NewReader(`{"key":"no-such-set"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 || eb.RequestID == "" {
+		t.Errorf("404 body should carry request_id: status %d, body %+v", resp.StatusCode, eb)
+	}
+	if eb.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Errorf("body request_id %q != header %q", eb.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+}
+
+// TestTraceDisabled asserts the off switch really is off: no response
+// header, no request_id in error bodies, no stage series in the scrape.
+func TestTraceDisabled(t *testing.T) {
+	_, data, admin := newObsServer(t, Config{TraceDisabled: true})
+	resp, err := http.Post(data.URL+"/v1/sample", "application/json",
+		strings.NewReader(`{"key":"plain"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "" {
+		t.Errorf("TraceDisabled leaked X-Request-ID %q", got)
+	}
+	_, body := get(t, admin.URL+"/metrics")
+	if strings.Contains(body, "bst_request_stage_duration_seconds") {
+		t.Error("TraceDisabled still exported stage histograms")
+	}
+	if !strings.Contains(body, `bst_requests_total{endpoint="/v1/sample"} 1`) {
+		t.Error("per-endpoint counters must stay on with tracing off")
+	}
+}
+
+// TestSlowRequestLog sets an absurdly low threshold so every request is
+// "slow" and asserts the warn line carries the joinable fields.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	_, data, _ := newObsServer(t, Config{Logger: logger, SlowRequest: time.Nanosecond})
+	req, _ := http.NewRequest("POST", data.URL+"/v1/sample", strings.NewReader(`{"key":"plain"}`))
+	req.Header.Set("X-Request-ID", "slow-probe-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	out := buf.String()
+	for _, want := range []string{"slow request", "request_id=slow-probe-1",
+		"endpoint=/v1/sample", "stages_us.execute="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/setdb"
 	"repro/internal/wire"
 )
@@ -143,7 +144,7 @@ func (s *Server) ServeBinary(ln net.Listener) error {
 		s.bin.conns[bc] = struct{}{}
 		s.bin.mu.Unlock()
 		s.bin.connsActive.Add(1)
-		s.bin.connsTotal.Add(1)
+		bc.id = s.bin.connsTotal.Add(1)
 		s.bin.wg.Add(1)
 		go func() {
 			defer s.bin.wg.Done()
@@ -213,6 +214,7 @@ func (s *Server) closeBinaryConns(force bool) {
 type binConn struct {
 	srv      *Server
 	conn     net.Conn
+	id       uint64 // connection ordinal, the request-ID prefix in traces
 	writeMu  sync.Mutex
 	inflight atomic.Int32
 
@@ -275,24 +277,39 @@ func (bc *binConn) dispatch(h wire.Header, body []byte) {
 	// Admission, cheapest gate first. The per-connection window is
 	// checked before the global budget so one connection's burst can
 	// never consume global slots it would only be shed from anyway.
+	admit := time.Now()
 	if int(bc.inflight.Load()) >= bc.srv.cfg.ConnWindow {
-		bc.busy(h.RequestID, m)
+		bc.busy(h.RequestID, m, name, "conn window")
 		return
 	}
 	if !bc.srv.inflight.tryAcquire() {
-		bc.busy(h.RequestID, m)
+		bc.busy(h.RequestID, m, name, "global budget")
 		return
 	}
 	if isWrite && !bc.srv.writeGate.tryAcquire() {
 		bc.srv.inflight.release()
-		bc.busy(h.RequestID, m)
+		bc.busy(h.RequestID, m, name, "write budget")
 		return
 	}
 	bc.inflight.Add(1)
+	// The trace's request ID combines the connection ordinal with the
+	// frame's request id — the same id the response frame echoes, so a
+	// client can quote "bin-3-17" and the server log line is findable.
+	var tr *obs.Trace
+	if !bc.srv.cfg.TraceDisabled {
+		tr = obs.NewTrace(fmt.Sprintf("bin-%d-%d", bc.id, h.RequestID))
+		tr.Add(obs.StageAdmission, time.Since(admit))
+	}
 	go func() {
 		start := time.Now()
-		err := bc.handle(h, body)
-		m.observe(time.Since(start), err != nil)
+		err := bc.handle(tr, h, body)
+		d := time.Since(start)
+		m.observe(d, err != nil)
+		if tr != nil {
+			tr.FillExecute(d)
+			m.observeStages(tr)
+		}
+		bc.srv.logRequest(name, "binary", tr, d, err)
 		bc.inflight.Add(-1)
 		if isWrite {
 			bc.srv.writeGate.release()
@@ -303,10 +320,11 @@ func (bc *binConn) dispatch(h wire.Header, body []byte) {
 
 // busy sheds one request with a BUSY frame — the fast path out: no body
 // decode, no database work, one 12-byte frame back.
-func (bc *binConn) busy(reqID uint32, m *endpointMetrics) {
+func (bc *binConn) busy(reqID uint32, m *endpointMetrics, endpoint, cause string) {
 	m.observeShed()
 	bc.srv.bin.shed.Add(1)
 	bc.writeFrame(wire.OpBusy, 0, reqID, nil)
+	bc.srv.logShed(endpoint, "binary", nil, cause)
 }
 
 // writeFrame writes one frame under the write lock with a write
@@ -334,28 +352,39 @@ func errCodeFor(err error) uint64 { return uint64(statusFor(err)) }
 // handle serves one admitted request. The returned error is for metrics
 // only; the client-visible form has already been written as an OpError
 // frame.
-func (bc *binConn) handle(h wire.Header, body []byte) error {
+func (bc *binConn) handle(tr *obs.Trace, h wire.Header, body []byte) error {
 	var err error
 	switch h.Opcode {
 	case wire.OpSample:
-		err = bc.handleSample(h, body)
+		err = bc.handleSample(tr, h, body)
 	case wire.OpSampleStream:
-		err = bc.handleSampleStream(h, body)
+		err = bc.handleSampleStream(tr, h, body)
 	case wire.OpReconstruct:
-		err = bc.handleReconstruct(h, body)
+		err = bc.handleReconstruct(tr, h, body)
 	case wire.OpIntersection:
-		err = bc.handleIntersection(h, body)
+		err = bc.handleIntersection(tr, h, body)
 	case wire.OpAdd:
-		err = bc.handleAdd(h, body)
+		err = bc.handleAdd(tr, h, body)
 	case wire.OpRemove:
-		err = bc.handleRemove(h, body)
+		err = bc.handleRemove(tr, h, body)
 	case wire.OpStats:
-		err = bc.handleStats(h)
+		err = bc.handleStats(tr, h)
 	case wire.OpSnapshot:
-		err = bc.handleSnapshot(h)
+		err = bc.handleSnapshot(tr, h)
 	case wire.OpRestore:
-		err = bc.handleRestore(h, body)
+		err = bc.handleRestore(tr, h, body)
 	}
+	return err
+}
+
+// reply writes one response frame, charging the wire write to the
+// trace's encode stage. (Varint body packing happens at the call sites
+// and rides in execute — it is allocation-light; the frame write with
+// its lock and deadline is where encode time actually goes.)
+func (bc *binConn) reply(tr *obs.Trace, op, flags byte, reqID uint32, body []byte) error {
+	t0 := time.Now()
+	err := bc.writeFrame(op, flags, reqID, body)
+	tr.Add(obs.StageEncode, time.Since(t0))
 	return err
 }
 
@@ -409,8 +438,10 @@ func (bc *binConn) validateSample(req SampleRequest) error {
 	return nil
 }
 
-func (bc *binConn) handleSample(h wire.Header, body []byte) error {
+func (bc *binConn) handleSample(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeSampleReq(body, false)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -432,7 +463,7 @@ func (bc *binConn) handleSample(h wire.Header, body []byte) error {
 		return bc.fail(h.RequestID, err)
 	}
 	resp := wire.SampleResult{Requested: uint64(req.N), IDs: ids}.Encode(nil)
-	return bc.writeFrame(wire.OpSampleResult, 0, h.RequestID, resp)
+	return bc.reply(tr, wire.OpSampleResult, 0, h.RequestID, resp)
 }
 
 // binStream is the flow-control state of one streaming response.
@@ -539,8 +570,10 @@ func (bc *binConn) grantCredit(id uint32, body []byte) {
 	}
 }
 
-func (bc *binConn) handleSampleStream(h wire.Header, body []byte) error {
+func (bc *binConn) handleSampleStream(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeSampleReq(body, true)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -590,15 +623,17 @@ func (bc *binConn) handleSampleStream(h wire.Header, body []byte) error {
 		if drawn >= req.N {
 			flags = wire.FlagFinal
 		}
-		if err := bc.writeFrame(wire.OpSampleChunk, flags, h.RequestID, wire.SampleChunk{IDs: ids}.Encode(nil)); err != nil {
+		if err := bc.reply(tr, wire.OpSampleChunk, flags, h.RequestID, wire.SampleChunk{IDs: ids}.Encode(nil)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (bc *binConn) handleReconstruct(h wire.Header, body []byte) error {
+func (bc *binConn) handleReconstruct(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeReconstructReq(body)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -609,11 +644,13 @@ func (bc *binConn) handleReconstruct(h wire.Header, body []byte) error {
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
-	return bc.writeFrame(wire.OpIDsResult, 0, h.RequestID, wire.IDsResult{IDs: ids}.Encode(nil))
+	return bc.reply(tr, wire.OpIDsResult, 0, h.RequestID, wire.IDsResult{IDs: ids}.Encode(nil))
 }
 
-func (bc *binConn) handleIntersection(h wire.Header, body []byte) error {
+func (bc *binConn) handleIntersection(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeIntersectionReq(body)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -624,11 +661,13 @@ func (bc *binConn) handleIntersection(h wire.Header, body []byte) error {
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
-	return bc.writeFrame(wire.OpEstimateResult, 0, h.RequestID, wire.EstimateResult{Estimate: est}.Encode(nil))
+	return bc.reply(tr, wire.OpEstimateResult, 0, h.RequestID, wire.EstimateResult{Estimate: est}.Encode(nil))
 }
 
-func (bc *binConn) handleAdd(h wire.Header, body []byte) error {
+func (bc *binConn) handleAdd(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeAddReq(body)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -654,11 +693,13 @@ func (bc *binConn) handleAdd(h wire.Header, body []byte) error {
 		return bc.fail(h.RequestID, err)
 	}
 	ack := wire.AckResult{Count: uint64(total), Keys: uint64(len(m.Sets))}
-	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
+	return bc.reply(tr, wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
 }
 
-func (bc *binConn) handleRemove(h wire.Header, body []byte) error {
+func (bc *binConn) handleRemove(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeRemoveReq(body)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -672,18 +713,18 @@ func (bc *binConn) handleRemove(h wire.Header, body []byte) error {
 		return bc.fail(h.RequestID, err)
 	}
 	ack := wire.AckResult{Count: uint64(len(m.IDs)), Keys: 1}
-	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
+	return bc.reply(tr, wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
 }
 
-func (bc *binConn) handleStats(h wire.Header) error {
+func (bc *binConn) handleStats(tr *obs.Trace, h wire.Header) error {
 	doc, err := json.Marshal(bc.srv.statsResponse())
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
-	return bc.writeFrame(wire.OpStatsResult, 0, h.RequestID, wire.StatsResult{JSON: doc}.Encode(nil))
+	return bc.reply(tr, wire.OpStatsResult, 0, h.RequestID, wire.StatsResult{JSON: doc}.Encode(nil))
 }
 
-func (bc *binConn) handleSnapshot(h wire.Header) error {
+func (bc *binConn) handleSnapshot(tr *obs.Trace, h wire.Header) error {
 	d := bc.srv.cfg.Durability
 	if d == nil {
 		return bc.fail(h.RequestID, errf(400, "server has no durability layer (start with -data-dir)"))
@@ -696,11 +737,13 @@ func (bc *binConn) handleSnapshot(h wire.Header) error {
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
-	return bc.writeFrame(wire.OpSnapshotResult, 0, h.RequestID, wire.SnapshotInfoResult{JSON: doc}.Encode(nil))
+	return bc.reply(tr, wire.OpSnapshotResult, 0, h.RequestID, wire.SnapshotInfoResult{JSON: doc}.Encode(nil))
 }
 
-func (bc *binConn) handleRestore(h wire.Header, body []byte) error {
+func (bc *binConn) handleRestore(tr *obs.Trace, h wire.Header, body []byte) error {
+	t0 := time.Now()
 	m, err := wire.DecodeRestoreReq(body)
+	tr.Add(obs.StageDecode, time.Since(t0))
 	if err != nil {
 		return bc.fail(h.RequestID, err)
 	}
@@ -712,5 +755,5 @@ func (bc *binConn) handleRestore(h wire.Header, body []byte) error {
 	}
 	st := db.Stats()
 	ack := wire.AckResult{Count: uint64(st.Sets + st.DynamicSets), Keys: uint64(st.Sets + st.DynamicSets)}
-	return bc.writeFrame(wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
+	return bc.reply(tr, wire.OpAckResult, 0, h.RequestID, ack.Encode(nil))
 }

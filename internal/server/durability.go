@@ -59,7 +59,7 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) erro
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, SnapshotTriggerResponse{Snapshot: info})
+	writeJSON(w, r, http.StatusOK, SnapshotTriggerResponse{Snapshot: info})
 	return nil
 }
 
@@ -85,7 +85,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	st := db.Stats()
-	writeJSON(w, http.StatusOK, RestoreResponse{
+	writeJSON(w, r, http.StatusOK, RestoreResponse{
 		Restored: true,
 		Sets:     st.Sets,
 		Dynamic:  st.DynamicSets,

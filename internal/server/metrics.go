@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Latency histogram layout: fixed log-spaced buckets, one atomic counter
@@ -40,6 +42,12 @@ type endpointMetrics struct {
 	latencyNS atomic.Uint64 // cumulative, successful and failed alike
 	maxNS     atomic.Uint64
 	hist      [latencyBuckets]atomic.Uint64
+
+	// Per-stage timing histograms (admission wait / decode / execute /
+	// encode), fed by request tracing. Same bucket layout as hist, so
+	// "where does p99 live" is answerable stage by stage from /metrics.
+	stageNS   [obs.NumStages]atomic.Uint64
+	stageHist [obs.NumStages][latencyBuckets]atomic.Uint64
 }
 
 // observe records one finished request.
@@ -57,6 +65,35 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 			return
 		}
 	}
+}
+
+// observeStages folds one finished request's trace into the per-stage
+// histograms. Every stage is recorded (a zero-duration stage lands in
+// bucket 0) so all four stage series share one _count and stay
+// comparable.
+func (m *endpointMetrics) observeStages(tr *obs.Trace) {
+	for s := 0; s < obs.NumStages; s++ {
+		ns := uint64(tr.StageDur(obs.Stage(s)).Nanoseconds())
+		m.stageNS[s].Add(ns)
+		m.stageHist[s][bucketForNS(ns)].Add(1)
+	}
+}
+
+// histCounts copies the latency histogram plus its cumulative sum for
+// export — a point-in-time view taken bucket by bucket.
+func (m *endpointMetrics) histCounts() (counts [latencyBuckets]uint64, sumNS uint64) {
+	for i := range m.hist {
+		counts[i] = m.hist[i].Load()
+	}
+	return counts, m.latencyNS.Load()
+}
+
+// stageCounts is histCounts for one stage histogram.
+func (m *endpointMetrics) stageCounts(s obs.Stage) (counts [latencyBuckets]uint64, sumNS uint64) {
+	for i := range m.stageHist[s] {
+		counts[i] = m.stageHist[s][i].Load()
+	}
+	return counts, m.stageNS[s].Load()
 }
 
 // observeShed records one request rejected by admission control. Sheds

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/setdb"
 	"repro/internal/wal"
 )
@@ -113,6 +115,20 @@ type Config struct {
 	// uniform request's rng derives from it); the plain/dynamic batch
 	// paths seed their workers internally. 0 seeds from the clock.
 	Seed uint64
+	// Logger receives the server's structured log lines (request access
+	// logs at debug, slow requests and internal failures at warn/error).
+	// Nil discards everything.
+	Logger *slog.Logger
+	// SlowRequest is the duration above which a finished request is
+	// logged at warn with its stage breakdown. Zero disables slow-request
+	// logging (there is no sane universal default: a 50ms stream chunk
+	// cadence and a 50ms point lookup mean different things).
+	SlowRequest time.Duration
+	// TraceDisabled turns off request tracing: no request IDs, no
+	// per-stage timings, no trace in the context. Per-endpoint counters
+	// and latency histograms stay on. The obs benchmark compares a server
+	// in this mode against the default to price the tracing overhead.
+	TraceDisabled bool
 }
 
 // withDefaults normalizes unset limits. Zero and negative values both
@@ -191,6 +207,15 @@ type Server struct {
 
 	// bin is the binary-protocol listener state (nil until ServeBinary).
 	bin binState
+
+	// log is cfg.Logger normalized to never-nil (NopLogger).
+	log *slog.Logger
+
+	// ready gates /readyz on the admin surface: false until the embedder
+	// calls SetReady(true) (after WAL replay and listener setup), flipped
+	// back to false at drain so load balancers stop routing new work
+	// before in-flight requests finish.
+	ready atomic.Bool
 }
 
 // New builds a Server over db. When cfg.Durability is set its recovered
@@ -201,6 +226,9 @@ func New(db *setdb.DB, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		metrics: map[string]*endpointMetrics{},
+	}
+	if s.log = s.cfg.Logger; s.log == nil {
+		s.log = obs.NopLogger()
 	}
 	if s.cfg.Durability != nil {
 		db = s.cfg.Durability.DB()
@@ -234,6 +262,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // DB returns the currently served database.
 func (s *Server) DB() *setdb.DB { return s.db.Load() }
+
+// SetReady flips the /readyz state on the admin surface. The embedder
+// calls SetReady(true) once recovery is done and the listeners are up,
+// and SetReady(false) when drain begins so load balancers steer new
+// traffic away while in-flight requests finish.
+func (s *Server) SetReady(ready bool) {
+	if s.ready.Swap(ready) != ready {
+		s.log.Info("readiness changed", "ready", ready)
+	}
+}
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // apiError carries an HTTP status with a message. Handlers return it for
 // conditions they classify themselves; bare errors are classified by
@@ -273,8 +314,11 @@ func statusFor(err error) int {
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.
+// RequestID echoes the request's trace ID (when tracing is on) so a
+// client-side error report can be joined against the server's logs.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // handlerFunc is the endpoint handler shape route/routeMulti register.
@@ -302,13 +346,30 @@ func (s *Server) routeMulti(path string, handlers map[string]handlerFunc, isWrit
 		}
 	}
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
-		// Admission first, before reading the body: a shed request should
+		// Tracing first, so even a shed response carries a request ID the
+		// client can quote back. The ID is taken from X-Request-ID when the
+		// caller sent a well-formed one (propagation across hops), freshly
+		// generated otherwise, and always echoed on the response.
+		var tr *obs.Trace
+		if !s.cfg.TraceDisabled {
+			rid := obs.CleanRequestID(r.Header.Get("X-Request-ID"))
+			if rid == "" {
+				rid = obs.NewRequestID()
+			}
+			tr = obs.NewTrace(rid)
+			w.Header().Set("X-Request-ID", rid)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
+		// Admission next, before reading the body: a shed request should
 		// cost the server nothing but the rejection write. 503 (not 429)
 		// because the condition is server saturation, not client quota.
+		admit := time.Now()
 		if !s.inflight.tryAcquire() {
 			m.observeShed()
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server at capacity, request shed"})
+			writeJSON(w, r, http.StatusServiceUnavailable,
+				errorBody{Error: "server at capacity, request shed", RequestID: tr.ID()})
+			s.logShed(path, "http", tr, "global budget")
 			return
 		}
 		defer s.inflight.release()
@@ -316,11 +377,14 @@ func (s *Server) routeMulti(path string, handlers map[string]handlerFunc, isWrit
 			if !s.writeGate.tryAcquire() {
 				m.observeShed()
 				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "write path at capacity, request shed"})
+				writeJSON(w, r, http.StatusServiceUnavailable,
+					errorBody{Error: "write path at capacity, request shed", RequestID: tr.ID()})
+				s.logShed(path, "http", tr, "write budget")
 				return
 			}
 			defer s.writeGate.release()
 		}
+		tr.Add(obs.StageAdmission, time.Since(admit))
 		start := time.Now()
 		var err error
 		if h, ok := handlers[r.Method]; !ok {
@@ -330,10 +394,49 @@ func (s *Server) routeMulti(path string, handlers map[string]handlerFunc, isWrit
 			err = h(w, r)
 		}
 		if err != nil && !errors.Is(err, errStreamAborted) {
-			writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+			writeJSON(w, r, statusFor(err), errorBody{Error: err.Error(), RequestID: tr.ID()})
 		}
-		m.observe(time.Since(start), err != nil)
+		d := time.Since(start)
+		m.observe(d, err != nil)
+		if tr != nil {
+			tr.FillExecute(d)
+			m.observeStages(tr)
+		}
+		s.logRequest(path, "http", tr, d, err)
 	})
+}
+
+// logShed records one admission rejection at debug — sheds are expected
+// under deliberate overload and already counted, so they must not be
+// able to flood the log at info.
+func (s *Server) logShed(endpoint, proto string, tr *obs.Trace, cause string) {
+	s.log.Debug("request shed", "endpoint", endpoint, "proto", proto,
+		"request_id", tr.ID(), "cause", cause)
+}
+
+// logRequest emits the access-log line for one finished request: debug
+// normally, warn with the stage breakdown when it ran slower than
+// cfg.SlowRequest, so production logs surface outliers without paying
+// for a line per request.
+func (s *Server) logRequest(endpoint, proto string, tr *obs.Trace, d time.Duration, err error) {
+	slow := s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest
+	if !slow && !s.log.Enabled(nil, slog.LevelDebug) {
+		return
+	}
+	attrs := make([]any, 0, 12)
+	attrs = append(attrs, "endpoint", endpoint, "proto", proto,
+		"request_id", tr.ID(), "duration_us", float64(d.Nanoseconds())/1e3)
+	if err != nil && !errors.Is(err, errStreamAborted) {
+		attrs = append(attrs, "error", err.Error())
+	} else if errors.Is(err, errStreamAborted) {
+		attrs = append(attrs, "error", "stream aborted")
+	}
+	attrs = append(attrs, tr.StageAttr())
+	if slow {
+		s.log.Warn("slow request", attrs...)
+		return
+	}
+	s.log.Debug("request", attrs...)
 }
 
 // decode reads one JSON request body under the configured size limit.
@@ -341,6 +444,9 @@ func (s *Server) routeMulti(path string, handlers map[string]handlerFunc, isWrit
 // selecting the wrong storage kind would be irreversible once the key
 // is created, so strictness beats leniency here.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	tr := obs.TraceFrom(r.Context())
+	t0 := time.Now()
+	defer func() { tr.Add(obs.StageDecode, time.Since(t0)) }()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -359,11 +465,17 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one JSON response, charging the marshal+write to the
+// request's encode stage (r carries the trace; a nil trace costs two
+// clock reads and nothing else).
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	tr := obs.TraceFrom(r.Context())
+	t0 := time.Now()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v) // header already sent; nothing useful left on failure
+	tr.Add(obs.StageEncode, time.Since(t0))
 }
 
 // rng hands out a pooled rand source for one request.
@@ -473,7 +585,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, SampleResponse{
+	writeJSON(w, r, http.StatusOK, SampleResponse{
 		Key: req.Key, Requested: req.N, Returned: len(ids), IDs: ids,
 	})
 	return nil
@@ -581,19 +693,23 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, req Sampl
 	defer rc.SetWriteDeadline(time.Time{})
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	tr := obs.TraceFrom(ctx)
 	emit := func(ids []uint64) error {
 		// Each chunk write gets a fresh deadline: a client reading too
 		// slowly fails its own stream instead of pinning this goroutine
 		// (and its draw work) for the server's lifetime.
 		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		t0 := time.Now()
 		for _, id := range ids {
 			if err := enc.Encode(streamIDLine{ID: id}); err != nil {
+				tr.Add(obs.StageEncode, time.Since(t0))
 				return err
 			}
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		tr.Add(obs.StageEncode, time.Since(t0))
 		return nil
 	}
 	if err := emit(ids); err != nil {
@@ -648,7 +764,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, ReconstructResponse{Key: req.Key, Count: len(ids), IDs: ids})
+	writeJSON(w, r, http.StatusOK, ReconstructResponse{Key: req.Key, Count: len(ids), IDs: ids})
 	return nil
 }
 
@@ -706,7 +822,7 @@ func (s *Server) handleIntersection(w http.ResponseWriter, r *http.Request) erro
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, IntersectionResponse{KeyA: req.KeyA, KeyB: req.KeyB, Estimate: est})
+	writeJSON(w, r, http.StatusOK, IntersectionResponse{KeyA: req.KeyA, KeyB: req.KeyB, Estimate: est})
 	return nil
 }
 
@@ -751,7 +867,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if len(req.Sets) > 0 {
-		return s.addBatch(w, req)
+		return s.addBatch(w, r, req)
 	}
 	if req.Key == "" {
 		return errf(http.StatusBadRequest, "missing key (or sets for a batch)")
@@ -762,7 +878,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 	if err := s.applyWrites([]setdb.Write{{Key: req.Key, IDs: req.IDs, Dynamic: req.Dynamic}}); err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, AddResponse{Key: req.Key, Added: len(req.IDs)})
+	writeJSON(w, r, http.StatusOK, AddResponse{Key: req.Key, Added: len(req.IDs)})
 	return nil
 }
 
@@ -771,7 +887,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) error {
 // batch (as for the single-key shape), and MaxBatchSets caps the key
 // count — each set costs a full-size filter allocation and lengthens the
 // locked group-commit build regardless of how few ids it carries.
-func (s *Server) addBatch(w http.ResponseWriter, req AddRequest) error {
+func (s *Server) addBatch(w http.ResponseWriter, r *http.Request, req AddRequest) error {
 	if req.Key != "" || len(req.IDs) > 0 || req.Dynamic {
 		return errf(http.StatusBadRequest, "use either key/ids or sets, not both")
 	}
@@ -793,7 +909,7 @@ func (s *Server) addBatch(w http.ResponseWriter, req AddRequest) error {
 	if err := s.applyWrites(writes); err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, AddResponse{Added: total, Keys: len(req.Sets)})
+	writeJSON(w, r, http.StatusOK, AddResponse{Added: total, Keys: len(req.Sets)})
 	return nil
 }
 
@@ -825,7 +941,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) error {
 	if err := s.applyWrites([]setdb.Write{{Key: req.Key, IDs: req.IDs, Dynamic: true, Remove: true}}); err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, RemoveResponse{Key: req.Key, Removed: len(req.IDs)})
+	writeJSON(w, r, http.StatusOK, RemoveResponse{Key: req.Key, Removed: len(req.IDs)})
 	return nil
 }
 
@@ -919,7 +1035,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	writeJSON(w, http.StatusOK, s.statsResponse())
+	writeJSON(w, r, http.StatusOK, s.statsResponse())
 	return nil
 }
 

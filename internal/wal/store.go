@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -61,6 +62,10 @@ type Options struct {
 	// Logf, when set, receives recovery and background-error log lines
 	// (typically log.Printf).
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured log lines: recovery outcome
+	// at info, fsync/rotation/snapshot failures at error. Both sinks may
+	// be set; they receive the same events.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +127,23 @@ type Store struct {
 	bootSkipped     uint64
 	bootDroppedTail int64
 
+	// Durability health counters, atomics so Stats and /metrics read
+	// them without contending on mu. fsyncErrors and snapshotErrors make
+	// background failures visible: an interval-fsync error used to be a
+	// single log line that scrolled away while the store kept
+	// acknowledging writes it could no longer make durable.
+	appendedBytes  atomic.Uint64
+	fsyncs         atomic.Uint64
+	fsyncErrors    atomic.Uint64
+	rotations      atomic.Uint64
+	snapshotErrors atomic.Uint64
+	lastSnapSeq    atomic.Uint64
+
+	// syncHook, when non-nil, replaces the active segment's Sync —
+	// package-internal tests inject fsync failures through it to assert
+	// the error surfacing above.
+	syncHook func() error
+
 	stopc chan struct{}
 	wg    sync.WaitGroup
 }
@@ -154,6 +176,12 @@ type Stats struct {
 	LastSnapshotUnix     int64   `json:"last_snapshot_unix,omitempty"`
 	LastSnapshotMS       float64 `json:"last_snapshot_ms,omitempty"`
 	LastSnapshotBytes    int64   `json:"last_snapshot_bytes,omitempty"`
+	LastSnapshotSeq      uint64  `json:"last_snapshot_seq"`
+	AppendedBytes        uint64  `json:"appended_bytes"`
+	Fsyncs               uint64  `json:"fsyncs"`
+	FsyncErrors          uint64  `json:"fsync_errors"`
+	Rotations            uint64  `json:"rotations"`
+	SnapshotErrors       uint64  `json:"snapshot_errors"`
 	ReplayedAtBoot       uint64  `json:"replayed_records_at_boot"`
 	SkippedAtBoot        uint64  `json:"skipped_records_at_boot"`
 	DroppedTailBytes     int64   `json:"dropped_tail_bytes_at_boot"`
@@ -196,6 +224,7 @@ func Open(dir string, fresh func() (*setdb.DB, error), opts Options) (*Store, er
 	}
 	s.db.Store(db)
 	s.seq = baseSeq
+	s.lastSnapSeq.Store(baseSeq)
 
 	// Replay every segment the newest snapshot does not cover, oldest
 	// first. Records at or below the snapshot's seq are skipped — that
@@ -255,6 +284,11 @@ func Open(dir string, fresh func() (*setdb.DB, error), opts Options) (*Store, er
 	if s.bootReplayed > 0 || s.bootDroppedTail > 0 {
 		s.logf("wal: recovered %s: %d records replayed, %d skipped, %d torn tail bytes dropped",
 			dir, s.bootReplayed, s.bootSkipped, s.bootDroppedTail)
+		if opts.Logger != nil {
+			opts.Logger.Info("wal recovered", "dir", dir,
+				"replayed", s.bootReplayed, "skipped", s.bootSkipped,
+				"dropped_tail_bytes", s.bootDroppedTail)
+		}
 	}
 
 	if s.opts.Fsync == FsyncInterval || s.opts.SnapshotInterval > 0 {
@@ -294,6 +328,7 @@ func (s *Store) Apply(writes []setdb.Write) error {
 	s.activeBytes += int64(n)
 	s.walBytes += int64(n)
 	s.sinceBytes += int64(n)
+	s.appendedBytes.Add(uint64(n))
 	if err != nil {
 		// The state is applied but the log write failed (disk full, IO
 		// error): the write is live but will not survive a restart.
@@ -302,7 +337,7 @@ func (s *Store) Apply(writes []setdb.Write) error {
 	}
 	s.sinceRecords++
 	if s.opts.Fsync == FsyncAlways {
-		if err := s.active.Sync(); err != nil {
+		if err := s.syncActive(); err != nil {
 			return fmt.Errorf("wal: fsync failed, write applied but not durable: %w", err)
 		}
 	} else {
@@ -334,6 +369,8 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	seq := s.seq
 	if err := s.rotateLocked(); err != nil {
 		s.mu.Unlock()
+		s.snapshotErrors.Add(1)
+		s.logError("wal snapshot failed", "stage", "rotate", "error", err)
 		return SnapshotInfo{}, err
 	}
 	idx := s.activeIdx
@@ -341,6 +378,8 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 
 	bytes, err := s.writeSnapshotFiles(idx, view, seq)
 	if err != nil {
+		s.snapshotErrors.Add(1)
+		s.logError("wal snapshot failed", "stage", "write", "file", snapshotName(idx), "error", err)
 		return SnapshotInfo{}, err
 	}
 	removed := s.prune(idx)
@@ -351,6 +390,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	s.lastSnapUnix = time.Now().Unix()
 	s.lastSnapDur = dur
 	s.lastSnapBytes = bytes
+	s.lastSnapSeq.Store(seq)
 	s.sinceRecords = 0
 	s.sinceBytes = 0
 	s.oldestIdx = idx
@@ -399,7 +439,7 @@ func (s *Store) RestoreDB(db *setdb.DB) error {
 	if _, err := s.writeSnapshotFiles(idx, db.SnapshotView(), 0); err != nil {
 		return err
 	}
-	syncErr := s.active.Sync()
+	syncErr := s.syncActive()
 	_ = syncErr // superseded history; best-effort
 	s.active.Close()
 	if err := s.createSegment(idx); err != nil {
@@ -411,6 +451,7 @@ func (s *Store) RestoreDB(db *setdb.DB) error {
 	s.db.Store(db)
 	s.snapshots++
 	s.lastSnapUnix = time.Now().Unix()
+	s.lastSnapSeq.Store(0)
 	s.sinceRecords = 0
 	s.sinceBytes = 0
 	s.prune(idx)
@@ -438,6 +479,12 @@ func (s *Store) Stats() Stats {
 		LastSnapshotUnix:     s.lastSnapUnix,
 		LastSnapshotMS:       float64(s.lastSnapDur.Microseconds()) / 1000,
 		LastSnapshotBytes:    s.lastSnapBytes,
+		LastSnapshotSeq:      s.lastSnapSeq.Load(),
+		AppendedBytes:        s.appendedBytes.Load(),
+		Fsyncs:               s.fsyncs.Load(),
+		FsyncErrors:          s.fsyncErrors.Load(),
+		Rotations:            s.rotations.Load(),
+		SnapshotErrors:       s.snapshotErrors.Load(),
 		ReplayedAtBoot:       s.bootReplayed,
 		SkippedAtBoot:        s.bootSkipped,
 		DroppedTailBytes:     s.bootDroppedTail,
@@ -461,7 +508,7 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	var err error
 	if s.active != nil {
-		err = s.active.Sync()
+		err = s.syncActive()
 		if cerr := s.active.Close(); err == nil {
 			err = cerr
 		}
@@ -492,7 +539,12 @@ func (s *Store) background() {
 			s.mu.Lock()
 			if !s.closed && s.dirty {
 				s.dirty = false
-				if err := s.active.Sync(); err != nil {
+				if err := s.syncActive(); err != nil {
+					// The error is already counted and logged by
+					// syncActive; mark the segment dirty again so the
+					// next tick retries rather than silently dropping
+					// the pending records' durability.
+					s.dirty = true
 					s.logf("wal: interval fsync: %v", err)
 				}
 			}
@@ -505,6 +557,8 @@ func (s *Store) background() {
 				continue
 			}
 			if _, err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
+				// Snapshot already counted and slog-logged the failure;
+				// keep the printf sink informed too.
 				s.logf("wal: background snapshot: %v", err)
 			}
 		}
@@ -514,6 +568,13 @@ func (s *Store) background() {
 func (s *Store) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
+	}
+}
+
+// logError emits one structured error line when a Logger is configured.
+func (s *Store) logError(msg string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Error(msg, args...)
 	}
 }
 
@@ -689,7 +750,7 @@ func (s *Store) openSegment(idx uint64, goodOffset int64) error {
 // rotateLocked closes the active segment (synced) and starts the next.
 // Callers hold mu.
 func (s *Store) rotateLocked() error {
-	if err := s.active.Sync(); err != nil {
+	if err := s.syncActive(); err != nil {
 		return err
 	}
 	if err := s.active.Close(); err != nil {
@@ -700,7 +761,26 @@ func (s *Store) rotateLocked() error {
 		return err
 	}
 	s.activeIdx++
+	s.rotations.Add(1)
 	s.walBytes += int64(len(segMagic))
+	return nil
+}
+
+// syncActive fsyncs the active segment (or runs the test hook) and
+// keeps the fsync counters. Callers hold mu.
+func (s *Store) syncActive() error {
+	var err error
+	if s.syncHook != nil {
+		err = s.syncHook()
+	} else {
+		err = s.active.Sync()
+	}
+	if err != nil {
+		s.fsyncErrors.Add(1)
+		s.logError("wal fsync failed", "segment", segmentName(s.activeIdx), "error", err)
+		return err
+	}
+	s.fsyncs.Add(1)
 	return nil
 }
 
